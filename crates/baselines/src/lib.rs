@@ -1,0 +1,36 @@
+//! Baseline GPU kernel-sampling methods (Table 1 of the paper).
+//!
+//! All four comparison points are implemented from their papers'
+//! descriptions, including the failure modes the STEM paper documents:
+//!
+//! * [`random`] — uniform random sampling (10% on Rodinia, 0.1% on
+//!   CASIO/HuggingFace, per Table 3's footnote).
+//! * [`pka`] — Principal Kernel Analysis: k-means over 12 instruction-level
+//!   metrics sweeping `k = 1..20`, first-chronological representative per
+//!   cluster. Its rate-based metrics cannot see per-invocation work or
+//!   locality, reproducing the heartwall/gaussian failures of Sec. 5.1.
+//! * [`sieve`] — stratified sampling on kernel name + instruction count,
+//!   CoV-based stratification, dominant-CTA first-chronological
+//!   representative, instruction-weighted extrapolation, optional KDE
+//!   sub-clustering.
+//! * [`photon`] — online BBV matching with a 95% similarity threshold and
+//!   #warps check; reports its comparison-operation count (the O(N²·d)
+//!   cost Sec. 5.6 analyzes).
+//! * [`tbpoint`] — TBPoint-style clustering with
+//!   centroid-nearest representatives (related work, used in ablations).
+//!
+//! The paper hand-tunes PKA and Sieve on a few Rodinia/CASIO workloads to
+//! use a random representative instead of the first-chronological one
+//! (Sec. 5.1); both implementations expose that switch.
+
+pub mod photon;
+pub mod pka;
+pub mod random;
+pub mod sieve;
+pub mod tbpoint;
+
+pub use photon::PhotonSampler;
+pub use pka::PkaSampler;
+pub use random::RandomSampler;
+pub use sieve::SieveSampler;
+pub use tbpoint::TbPointSampler;

@@ -1,0 +1,122 @@
+//! Core-algorithm microbenchmarks: the KKT solver (Eq. 6), ROOT's exact
+//! two-way split, 1-D k-means, d-dimensional k-means and KDE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stem_cluster::{best_two_split, kmeans_1d, KMeans, KMeansConfig};
+use stem_stats::kde::Kde;
+use stem_stats::kkt::{solve_sample_sizes, ClusterStat};
+
+/// Deterministic pseudo-random values without pulling a RNG into the hot
+/// loop setup.
+fn synth_values(n: usize) -> Vec<f64> {
+    let mut state = 0x12345678u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            if u < 0.5 {
+                10.0 + u * 4.0
+            } else {
+                100.0 + u * 40.0
+            }
+        })
+        .collect()
+}
+
+fn bench_kkt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kkt_solver");
+    for k in [4usize, 64, 1024] {
+        let clusters: Vec<ClusterStat> = (0..k)
+            .map(|i| {
+                ClusterStat::new(
+                    1000 + i as u64 * 13,
+                    1.0 + i as f64,
+                    0.1 + (i % 7) as f64 * 0.2,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &clusters, |b, cl| {
+            b.iter(|| solve_sample_sizes(cl, 0.05, 1.96))
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("root_two_split");
+    for n in [1_000usize, 10_000, 100_000] {
+        let values = synth_values(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| best_two_split(v))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans_1d(c: &mut Criterion) {
+    let values = synth_values(500);
+    c.bench_function("kmeans_1d_dp_k4_n500", |b| b.iter(|| kmeans_1d(&values, 4)));
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = synth_values(2_000)
+        .chunks(2)
+        .map(|ch| vec![ch[0], ch[1]])
+        .collect();
+    c.bench_function("kmeans_2d_k8_n1000", |b| {
+        b.iter(|| KMeans::fit(&points, KMeansConfig::new(8, 3)))
+    });
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let values = synth_values(2_000);
+    c.bench_function("kde_modes_n2000", |b| {
+        b.iter(|| Kde::new(&values).modes(256, 0.15))
+    });
+}
+
+fn bench_multi_gpu_trace(c: &mut Criterion) {
+    use gpu_sim::multi_gpu::{simulate_trace, ClusterConfig};
+    use gpu_workload::chakra::data_parallel_training;
+    let trace = data_parallel_training("ddp", 8, 24, 10, 3);
+    let cfg = ClusterConfig::h100_nvlink();
+    let mut group = c.benchmark_group("multi_gpu");
+    group.sample_size(20);
+    group.bench_function("simulate_ddp_8gpu_10step", |b| {
+        b.iter(|| simulate_trace(&trace, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_wave_profile(c: &mut Criterion) {
+    use gpu_sim::{GpuConfig, Simulator};
+    use gpu_workload::kernel::KernelClassBuilder;
+    use gpu_workload::{RuntimeContext, SuiteKind, WorkloadBuilder};
+    let mut b = WorkloadBuilder::new("w", SuiteKind::Custom, 1);
+    let id = b.add_kernel(
+        KernelClassBuilder::new("mega")
+            .geometry(12_000, 256)
+            .resources(64, 16 * 1024)
+            .instructions(40_000)
+            .build(),
+        vec![RuntimeContext::neutral()],
+    );
+    b.invoke(id, 0, 1.0);
+    let w = b.build();
+    let sim = Simulator::new(GpuConfig::rtx2080());
+    c.bench_function("wave_profile_65_waves", |bch| {
+        bch.iter(|| sim.wave_profile(&w, &w.invocations()[0]))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kkt,
+    bench_two_split,
+    bench_kmeans_1d,
+    bench_kmeans,
+    bench_kde,
+    bench_multi_gpu_trace,
+    bench_wave_profile
+);
+criterion_main!(benches);

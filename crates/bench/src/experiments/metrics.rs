@@ -1,0 +1,86 @@
+//! Figure 14: microarchitectural-metric validation on `bert_infer`.
+
+use crate::harness::{build_sampler, ExperimentOptions, MethodKind};
+use crate::report::{fnum, write_result, Table};
+use gpu_workload::{MetricKind, SuiteKind};
+
+/// One metric's full-vs-sampled comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricComparison {
+    /// The metric.
+    pub metric: MetricKind,
+    /// Full-workload value (counts summed, rates averaged).
+    pub full: f64,
+    /// Sampled weighted estimate.
+    pub sampled: f64,
+    /// Relative difference in percent.
+    pub diff_pct: f64,
+}
+
+/// Reproduces Figure 14: the 13 microarchitectural metrics of the full
+/// `bert_infer` workload versus the STEM-sampled estimate (eps = 5%).
+pub fn fig14(options: &ExperimentOptions) -> Vec<MetricComparison> {
+    let casio = options.suite(SuiteKind::Casio);
+    let w = casio
+        .iter()
+        .find(|w| w.name() == "bert_infer")
+        .expect("bert_infer exists");
+    let sim = options.simulator();
+    let plan = build_sampler(MethodKind::Stem, w, &options.stem_config).plan(w, options.seed);
+    let full = sim.metrics_full(w);
+    let sampled = sim.metrics_sampled(w, plan.samples());
+
+    let mut rows = Vec::new();
+    for metric in MetricKind::ALL {
+        let f = full.get(metric);
+        let s = sampled.get(metric);
+        let diff_pct = if f.abs() > 0.0 {
+            (s - f).abs() / f.abs() * 100.0
+        } else {
+            0.0
+        };
+        rows.push(MetricComparison {
+            metric,
+            full: f,
+            sampled: s,
+            diff_pct,
+        });
+    }
+
+    let mut t = Table::new(&["metric", "category", "full", "sampled", "diff_pct"]);
+    for r in &rows {
+        t.row(vec![
+            r.metric.to_string(),
+            format!("{:?}", r.metric.category()),
+            format!("{:.4e}", r.full),
+            format!("{:.4e}", r.sampled),
+            fnum(r.diff_pct),
+        ]);
+    }
+    println!(
+        "Figure 14 — microarchitectural metrics, full vs sampled (bert_infer)\n{}",
+        t.render()
+    );
+    write_result("fig14.csv", &t.to_csv());
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metrics_near_zero_difference() {
+        let opts = ExperimentOptions::fast();
+        let rows = fig14(&opts);
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            assert!(
+                r.diff_pct < 6.0,
+                "{}: sampled deviates {:.2}% from full",
+                r.metric,
+                r.diff_pct
+            );
+        }
+    }
+}

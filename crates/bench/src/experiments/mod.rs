@@ -1,0 +1,22 @@
+//! One module per experiment family; each function prints the paper's rows
+//! and returns them for programmatic assertions.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`motivation`] | Table 2, Figure 1, Figure 2 |
+//! | [`accuracy`]   | Table 3, Figures 7, 8, 9 |
+//! | [`limits`]     | Figures 10, 11 |
+//! | [`dse`]        | Table 4, Figures 12, 13 |
+//! | [`metrics`]    | Figure 14 |
+//! | [`overhead`]   | Table 5 |
+//! | [`ablations`]  | Sec. 3.3 KKT claim, Sec. 6.2 L2-flush claim, ROOT on/off |
+//! | [`extensions`] | Sec. 6.2 future work: multi-GPU execution-trace node sampling |
+
+pub mod ablations;
+pub mod accuracy;
+pub mod dse;
+pub mod extensions;
+pub mod limits;
+pub mod metrics;
+pub mod motivation;
+pub mod overhead;

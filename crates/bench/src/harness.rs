@@ -1,0 +1,244 @@
+//! Shared experiment machinery: method roster, per-workload tuning, suite
+//! evaluation loops.
+
+use gpu_sim::{GpuConfig, Simulator};
+use gpu_workload::suites::{casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale};
+use gpu_workload::{SuiteKind, Workload};
+use stem_baselines::{PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler};
+use stem_core::eval::{evaluate, EvalSummary};
+use stem_core::sampler::KernelSampler;
+use stem_core::{StemConfig, StemRootSampler};
+
+/// The sampling methods of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Uniform random (10% Rodinia / 0.1% elsewhere).
+    Random,
+    /// PKA with the paper's hand-tuning on gaussian/heartwall.
+    Pka,
+    /// Sieve with the paper's hand-tuning (random representatives on
+    /// gaussian/heartwall/ssdrn34_infer/unet_*; KDE off on CASIO).
+    Sieve,
+    /// Photon.
+    Photon,
+    /// STEM+ROOT.
+    Stem,
+    /// TBPoint (extra ablation point, not in Table 3).
+    TbPoint,
+}
+
+impl MethodKind {
+    /// Table 3's five methods, in row order.
+    pub const TABLE3: [MethodKind; 5] = [
+        MethodKind::Random,
+        MethodKind::Pka,
+        MethodKind::Sieve,
+        MethodKind::Photon,
+        MethodKind::Stem,
+    ];
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Random => "Random",
+            MethodKind::Pka => "PKA",
+            MethodKind::Sieve => "Sieve",
+            MethodKind::Photon => "Photon",
+            MethodKind::Stem => "STEM",
+            MethodKind::TbPoint => "TBPoint",
+        }
+    }
+
+    /// Whether the paper could run this method on the HuggingFace suite
+    /// (PKA/Sieve/Photon are N/A there for overhead reasons, Table 3).
+    pub fn feasible_on_huggingface(&self) -> bool {
+        matches!(self, MethodKind::Random | MethodKind::Stem)
+    }
+}
+
+/// Workloads the paper hand-tuned PKA/Sieve on (Sec. 5.1).
+fn needs_random_representative(method: MethodKind, workload: &Workload) -> bool {
+    match method {
+        MethodKind::Pka => matches!(workload.name(), "gaussian" | "heartwall"),
+        MethodKind::Sieve => matches!(
+            workload.name(),
+            "gaussian" | "heartwall" | "ssdrn34_infer" | "unet_infer" | "unet_train"
+        ),
+        _ => false,
+    }
+}
+
+/// Builds a sampler for `method` on `workload`, applying the paper's
+/// per-workload tuning and the given STEM config.
+pub fn build_sampler(
+    method: MethodKind,
+    workload: &Workload,
+    stem_config: &StemConfig,
+) -> Box<dyn KernelSampler> {
+    match method {
+        MethodKind::Random => Box::new(RandomSampler::for_suite(workload.suite())),
+        MethodKind::Pka => {
+            let mut s = PkaSampler::new();
+            if needs_random_representative(method, workload) {
+                s = s.with_random_representative();
+            }
+            Box::new(s)
+        }
+        MethodKind::Sieve => {
+            let mut s = SieveSampler::new();
+            if workload.suite() == SuiteKind::Casio {
+                // The paper turned Sieve's KDE off on CASIO (it capped
+                // speedups at 2-5x by oversampling).
+                s = s.without_kde();
+            }
+            if needs_random_representative(method, workload) {
+                s = s.with_random_representative();
+            }
+            Box::new(s)
+        }
+        MethodKind::Photon => Box::new(PhotonSampler::new()),
+        MethodKind::Stem => Box::new(StemRootSampler::new(stem_config.clone())),
+        MethodKind::TbPoint => Box::new(TbPointSampler::new()),
+    }
+}
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOptions {
+    /// Repetitions per (method, workload); the paper uses 10.
+    pub reps: u32,
+    /// Base seed for workload generation and sampling.
+    pub seed: u64,
+    /// HuggingFace suite scale (1.0 = paper's ~11.6M-call average).
+    pub hf_scale: HuggingfaceScale,
+    /// Target simulator config.
+    pub sim_config: GpuConfig,
+    /// STEM hyperparameters.
+    pub stem_config: StemConfig,
+}
+
+impl ExperimentOptions {
+    /// Paper-faithful settings at a laptop-friendly HuggingFace scale.
+    pub fn default_repro() -> Self {
+        ExperimentOptions {
+            reps: 10,
+            seed: 2025,
+            hf_scale: HuggingfaceScale::default_repro(),
+            sim_config: GpuConfig::rtx2080(),
+            stem_config: StemConfig::paper(),
+        }
+    }
+
+    /// Fast settings for smoke tests and CI.
+    pub fn fast() -> Self {
+        let mut o = Self::default_repro();
+        o.reps = 3;
+        o.hf_scale = HuggingfaceScale::custom(0.01);
+        o
+    }
+
+    /// The three suites at these options' scale and seed.
+    pub fn suite(&self, kind: SuiteKind) -> Vec<Workload> {
+        match kind {
+            SuiteKind::Rodinia => rodinia_suite(self.seed),
+            SuiteKind::Casio => casio_suite(self.seed),
+            SuiteKind::Huggingface => huggingface_suite(self.seed, self.hf_scale),
+            SuiteKind::Custom => Vec::new(),
+        }
+    }
+
+    /// The bound simulator.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(self.sim_config.clone())
+    }
+}
+
+/// Evaluates one method across a suite, returning one summary per workload
+/// (input order preserved). Workloads are evaluated on parallel threads —
+/// every component is a pure function of its inputs, so parallel and
+/// sequential runs produce identical results.
+pub fn eval_method_on_suite(
+    method: MethodKind,
+    workloads: &[Workload],
+    options: &ExperimentOptions,
+) -> Vec<EvalSummary> {
+    let eval_one = |w: &Workload| -> EvalSummary {
+        let sim = options.simulator();
+        let sampler = build_sampler(method, w, &options.stem_config);
+        let full = sim.run_full(w);
+        evaluate(sampler.as_ref(), w, &sim, &full, options.reps, options.seed)
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(move || eval_one(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation thread panicked"))
+            .collect()
+    })
+}
+
+/// Suite-level aggregation: harmonic-mean speedup and arithmetic-mean error
+/// across workloads (each itself aggregated over reps).
+pub fn aggregate(summaries: &[EvalSummary]) -> (f64, f64) {
+    let speedups: Vec<f64> = summaries.iter().map(|s| s.harmonic_speedup).collect();
+    let errors: Vec<f64> = summaries.iter().map(|s| s.mean_error_pct).collect();
+    (
+        stem_core::eval::harmonic_mean(&speedups),
+        stem_core::eval::arithmetic_mean(&errors),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_applies_to_the_right_workloads() {
+        let opts = ExperimentOptions::fast();
+        let rodinia = opts.suite(SuiteKind::Rodinia);
+        let heartwall = rodinia.iter().find(|w| w.name() == "heartwall").expect("hw");
+        let backprop = rodinia.iter().find(|w| w.name() == "backprop").expect("bp");
+        assert!(needs_random_representative(MethodKind::Pka, heartwall));
+        assert!(!needs_random_representative(MethodKind::Pka, backprop));
+        assert!(!needs_random_representative(MethodKind::Photon, heartwall));
+    }
+
+    #[test]
+    fn build_sampler_names() {
+        let opts = ExperimentOptions::fast();
+        let w = &opts.suite(SuiteKind::Rodinia)[0];
+        for m in MethodKind::TABLE3 {
+            let s = build_sampler(m, w, &opts.stem_config);
+            assert_eq!(s.name(), m.label());
+        }
+    }
+
+    #[test]
+    fn hf_feasibility() {
+        assert!(MethodKind::Stem.feasible_on_huggingface());
+        assert!(MethodKind::Random.feasible_on_huggingface());
+        assert!(!MethodKind::Pka.feasible_on_huggingface());
+        assert!(!MethodKind::Photon.feasible_on_huggingface());
+    }
+
+    #[test]
+    fn eval_method_smoke() {
+        let mut opts = ExperimentOptions::fast();
+        opts.reps = 2;
+        let rodinia = opts.suite(SuiteKind::Rodinia);
+        let w = rodinia
+            .iter()
+            .find(|w| w.name() == "backprop")
+            .expect("backprop")
+            .clone();
+        let summaries = eval_method_on_suite(MethodKind::Stem, &[w], &opts);
+        assert_eq!(summaries.len(), 1);
+        assert!(summaries[0].mean_error_pct < 6.0);
+        let (speedup, error) = aggregate(&summaries);
+        assert!(speedup >= 1.0);
+        assert!(error < 6.0);
+    }
+}

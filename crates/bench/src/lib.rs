@@ -1,0 +1,21 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! The `repro` binary (in `src/bin/repro.rs`) exposes one subcommand per
+//! table/figure; this library holds the shared machinery:
+//!
+//! * [`harness`] — method roster (with the paper's per-workload hand-tuning
+//!   of PKA/Sieve), suite evaluation loops, experiment options.
+//! * [`report`] — aligned text tables and CSV output under `results/`.
+//! * [`experiments`] — one module per table/figure, each returning the rows
+//!   it printed so integration tests can assert the paper's *shape* claims
+//!   (who wins, by roughly what factor).
+//!
+//! Criterion benches (in `benches/`) cover the paper's performance claims:
+//! STEM's near-linear scalability versus Photon's quadratic matching
+//! (Sec. 5.6) and the costs of the core algorithms.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{build_sampler, ExperimentOptions, MethodKind};

@@ -1,0 +1,386 @@
+//! d-dimensional k-means with k-means++ seeding (Lloyd's algorithm).
+//!
+//! Used by the PKA baseline (k-means over 12 instruction-level metrics,
+//! sweeping `k = 1..20`) and by ROOT when clustering in more than one
+//! dimension. Fully deterministic under a seed.
+
+use crate::distance::sq_euclidean;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A configuration with sensible defaults (`max_iter = 100`,
+    /// `tol = 1e-9`).
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansConfig {
+            k,
+            max_iter: 100,
+            tol: 1e-9,
+            seed,
+        }
+    }
+}
+
+/// A fitted k-means model.
+///
+/// # Example
+///
+/// ```
+/// use stem_cluster::{KMeans, KMeansConfig};
+///
+/// let points = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0], vec![9.1, 9.0]];
+/// let km = KMeans::fit(&points, KMeansConfig::new(2, 42));
+/// assert_eq!(km.k(), 2);
+/// assert_eq!(km.assignments()[0], km.assignments()[1]);
+/// assert_ne!(km.assignments()[0], km.assignments()[2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Runs k-means++ initialization followed by Lloyd iterations.
+    ///
+    /// If there are fewer distinct points than `k`, the effective number of
+    /// clusters shrinks (empty clusters are dropped, so
+    /// `self.centroids().len() <= k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, `config.k == 0`, or points have
+    /// inconsistent dimensionality.
+    pub fn fit(points: &[Vec<f64>], config: KMeansConfig) -> Self {
+        Self::fit_weighted(points, &vec![1.0; points.len()], config)
+    }
+
+    /// Weighted k-means: point `i` counts as `weights[i]` identical copies.
+    /// Used when clustering deduplicated feature vectors (PKA's invocation
+    /// streams contain huge runs of identical vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, lengths mismatch, any weight is
+    /// nonpositive, `config.k == 0`, or points have inconsistent
+    /// dimensionality.
+    pub fn fit_weighted(points: &[Vec<f64>], weights: &[f64], config: KMeansConfig) -> Self {
+        assert!(!points.is_empty(), "k-means needs at least one point");
+        assert_eq!(points.len(), weights.len(), "one weight per point required");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        assert!(config.k > 0, "k must be positive");
+        let dim = points[0].len();
+        for p in points {
+            assert_eq!(p.len(), dim, "points must share a dimensionality");
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = plus_plus_init(points, weights, config.k, &mut rng);
+
+        let mut assignments = vec![0usize; points.len()];
+        for _ in 0..config.max_iter {
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(p, &centroids).0;
+            }
+            // Update step (weighted centroids).
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut totals = vec![0.0f64; centroids.len()];
+            for ((p, &a), &w) in points.iter().zip(&assignments).zip(weights) {
+                totals[a] += w;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x * w;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, (sum, &total)) in centroids.iter_mut().zip(sums.iter().zip(&totals)) {
+                if total == 0.0 {
+                    continue; // keep the old centroid; it will be pruned later
+                }
+                let new: Vec<f64> = sum.iter().map(|s| s / total).collect();
+                movement += sq_euclidean(c, &new).sqrt();
+                *c = new;
+            }
+            if movement <= config.tol {
+                break;
+            }
+        }
+
+        // Final assignment, then prune empty clusters and re-index.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest(p, &centroids).0;
+        }
+        let mut used = vec![false; centroids.len()];
+        for &a in &assignments {
+            used[a] = true;
+        }
+        let mut remap = vec![usize::MAX; centroids.len()];
+        let mut kept = Vec::new();
+        for (old, (u, c)) in used.iter().zip(&centroids).enumerate() {
+            if *u {
+                remap[old] = kept.len();
+                kept.push(c.clone());
+            }
+        }
+        for a in &mut assignments {
+            *a = remap[*a];
+        }
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .zip(weights)
+            .map(|((p, &a), &w)| w * sq_euclidean(p, &kept[a]))
+            .sum();
+        KMeans {
+            centroids: kept,
+            assignments,
+            inertia,
+        }
+    }
+
+    /// Cluster centroids (at most `k`, fewer if clusters emptied).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster index assigned to each input point, aligned with the input.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances from points to their assigned centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of (non-empty) clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Per-cluster member indices.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            out[a].push(i);
+        }
+        out
+    }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_euclidean(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid weight-proportional, subsequent
+/// centroids sampled proportionally to weighted squared distance from the
+/// nearest chosen centroid.
+fn plus_plus_init(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    let total_w: f64 = weights.iter().sum();
+    let mut target = rng.random::<f64>() * total_w;
+    let mut first = points.len() - 1;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    centroids.push(points[first].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .zip(weights)
+        .map(|(p, &w)| w * sq_euclidean(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            break; // all remaining points coincide with a centroid
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+        for ((d, p), &w) in dists.iter_mut().zip(points).zip(weights) {
+            let nd = w * sq_euclidean(p, centroids.last().expect("nonempty"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let j = (i % 5) as f64 * 0.01;
+            pts.push(vec![0.0 + j, 0.0 + j]);
+            pts.push(vec![10.0 + j, 10.0 + j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let km = KMeans::fit(&pts, KMeansConfig::new(2, 7));
+        assert_eq!(km.k(), 2);
+        // All even-index points (blob A) share a cluster, odd (blob B) the other.
+        let a = km.assignments()[0];
+        let b = km.assignments()[1];
+        assert_ne!(a, b);
+        for (i, &asgn) in km.assignments().iter().enumerate() {
+            assert_eq!(asgn, if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn k1_centroid_is_mean() {
+        let pts = vec![vec![1.0, 0.0], vec![3.0, 4.0]];
+        let km = KMeans::fit(&pts, KMeansConfig::new(1, 0));
+        assert_eq!(km.k(), 1);
+        assert!((km.centroids()[0][0] - 2.0).abs() < 1e-12);
+        assert!((km.centroids()[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = two_blobs();
+        let a = KMeans::fit(&pts, KMeansConfig::new(3, 42));
+        let b = KMeans::fit(&pts, KMeansConfig::new(3, 42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_k_than_distinct_points_shrinks() {
+        let pts = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&pts, KMeansConfig::new(10, 5));
+        assert!(km.k() <= 2);
+        assert!(km.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_in_k() {
+        let pts = two_blobs();
+        let mut last = f64::INFINITY;
+        for k in 1..=4 {
+            let km = KMeans::fit(&pts, KMeansConfig::new(k, 9));
+            assert!(
+                km.inertia() <= last + 1e-9,
+                "inertia grew at k={k}: {} > {last}",
+                km.inertia()
+            );
+            last = km.inertia();
+        }
+    }
+
+    #[test]
+    fn clusters_partition_points() {
+        let pts = two_blobs();
+        let km = KMeans::fit(&pts, KMeansConfig::new(2, 11));
+        let clusters = km.clusters();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        assert!(clusters.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let pts = two_blobs();
+        let km = KMeans::fit(&pts, KMeansConfig::new(2, 3));
+        for (p, &a) in pts.iter().zip(km.assignments()) {
+            let d_assigned = sq_euclidean(p, &km.centroids()[a]);
+            for c in km.centroids() {
+                assert!(d_assigned <= sq_euclidean(p, c) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_centroid_pulls_toward_heavy_point() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let km = KMeans::fit_weighted(&pts, &[9.0, 1.0], KMeansConfig::new(1, 0));
+        assert!((km.centroids()[0][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_matches_replication() {
+        // Clustering {a x3, b x1} weighted equals clustering the
+        // replicated point set.
+        let pts = vec![vec![1.0, 0.0], vec![5.0, 0.0]];
+        let weighted = KMeans::fit_weighted(&pts, &[3.0, 1.0], KMeansConfig::new(1, 7));
+        let replicated = KMeans::fit(
+            &[
+                vec![1.0, 0.0],
+                vec![1.0, 0.0],
+                vec![1.0, 0.0],
+                vec![5.0, 0.0],
+            ],
+            KMeansConfig::new(1, 7),
+        );
+        assert!(
+            (weighted.centroids()[0][0] - replicated.centroids()[0][0]).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        KMeans::fit(&[], KMeansConfig::new(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        KMeans::fit_weighted(&[vec![1.0]], &[0.0], KMeansConfig::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimensionality")]
+    fn ragged_rejected() {
+        KMeans::fit(&[vec![1.0], vec![1.0, 2.0]], KMeansConfig::new(1, 0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Clustering substrate for the STEM+ROOT sampled-simulation framework.
+//!
+//! ROOT (the paper's hierarchical clustering layer) needs a fast, seeded
+//! 2-means split over one-dimensional execution times; the baseline methods
+//! need d-dimensional k-means (PKA sweeps `k = 1..20` over 12-metric feature
+//! vectors), BBV distance functions and PCA (Photon reduces 800+-dimensional
+//! basic-block vectors), and cluster-quality scores for the k sweep.
+//!
+//! * [`kmeans`] — d-dimensional Lloyd's algorithm with k-means++ seeding.
+//! * [`kmeans1d`] — exact 1-D k-means by dynamic programming, plus the O(n)
+//!   optimal two-way split ROOT uses at every recursion step.
+//! * [`distance`] — euclidean / manhattan / cosine metrics.
+//! * [`pca`] — principal component analysis via Jacobi eigendecomposition.
+//! * [`quality`] — BIC and silhouette scores for choosing `k`.
+//!
+//! # Example
+//!
+//! Split a bimodal execution-time profile the way ROOT does:
+//!
+//! ```
+//! use stem_cluster::best_two_split;
+//!
+//! let times = [10.0, 10.5, 9.8, 50.0, 51.2, 49.7];
+//! let split = best_two_split(&times);
+//! assert!(split.threshold > 11.0 && split.threshold < 49.0);
+//! ```
+
+pub mod distance;
+pub mod kmeans;
+pub mod kmeans1d;
+pub mod pca;
+pub mod quality;
+
+pub use kmeans::{KMeans, KMeansConfig};
+pub use kmeans1d::{best_two_split, kmeans_1d, TwoSplit};

@@ -1,0 +1,274 @@
+//! Principal component analysis via Jacobi eigendecomposition.
+//!
+//! Photon collects basic-block vectors with 800+ dimensions per kernel and
+//! reduces them with PCA before comparison (Sec. 5.6). This module provides
+//! a dependency-free PCA: covariance matrix, cyclic Jacobi rotation
+//! eigensolver, and projection onto the top components.
+
+#![allow(clippy::needless_range_loop)] // symmetric-matrix math reads best indexed
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal axes, one row per component, sorted by descending
+    /// eigenvalue.
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA keeping at most `n_components` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, `n_components == 0`, or points have
+    /// inconsistent dimensionality.
+    pub fn fit(points: &[Vec<f64>], n_components: usize) -> Self {
+        assert!(!points.is_empty(), "PCA needs at least one point");
+        assert!(n_components > 0, "n_components must be positive");
+        let dim = points[0].len();
+        for p in points {
+            assert_eq!(p.len(), dim, "points must share a dimensionality");
+        }
+        let n = points.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for p in points {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+
+        // Covariance matrix (population).
+        let mut cov = vec![vec![0.0; dim]; dim];
+        for p in points {
+            for i in 0..dim {
+                let di = p[i] - mean[i];
+                for j in i..dim {
+                    cov[i][j] += di * (p[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+
+        let (eigenvalues, eigenvectors) = jacobi_eigen(&cov);
+        // Sort by descending eigenvalue.
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .expect("finite eigenvalues")
+        });
+        let keep = n_components.min(dim);
+        let components: Vec<Vec<f64>> = order[..keep]
+            .iter()
+            .map(|&c| (0..dim).map(|r| eigenvectors[r][c]).collect())
+            .collect();
+        let eigenvalues = order[..keep].iter().map(|&c| eigenvalues[c]).collect();
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Projects a point onto the kept components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimensionality differs from the training data.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(point.iter().zip(&self.mean))
+                    .map(|(a, (x, m))| a * (x - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects every point in a batch.
+    pub fn transform_all(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        points.iter().map(|p| self.transform(p)).collect()
+    }
+
+    /// Variance captured by each kept component (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The kept principal axes (unit vectors).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors)` where `eigenvectors[:][k]` is the k-th
+/// eigenvector (column convention).
+fn jacobi_eigen(matrix: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _sweep in 0..100 {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-30 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues = (0..n).map(|i| a[i][i]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = vec![vec![3.0, 0.0], vec![0.0, 1.0]];
+        let (vals, _) = jacobi_eigen(&m);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((sorted[0] - 3.0).abs() < 1e-10);
+        assert!((sorted[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, vecs) = jacobi_eigen(&m);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!((sorted[0] - 3.0).abs() < 1e-10);
+        assert!((sorted[1] - 1.0).abs() < 1e-10);
+        // Eigenvector columns are orthonormal.
+        let dot: f64 = (0..2).map(|r| vecs[r][0] * vecs[r][1]).sum();
+        assert!(dot.abs() < 1e-10);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the diagonal y = x with small noise orthogonal to it.
+        let mut pts = Vec::new();
+        for i in 0..100 {
+            let t = i as f64 / 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            pts.push(vec![t + noise, t - noise]);
+        }
+        let pca = Pca::fit(&pts, 1);
+        let axis = &pca.components()[0];
+        // Axis should be ±(1/sqrt2, 1/sqrt2).
+        let a = axis[0].abs();
+        let b = axis[1].abs();
+        assert!((a - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "{axis:?}");
+        assert!((b - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02);
+        assert!((axis[0] * axis[1]) > 0.0, "components aligned: {axis:?}");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let pca = Pca::fit(&pts, 2);
+        let t0 = pca.transform(&pts[0]);
+        let t1 = pca.transform(&pts[1]);
+        // Projections of two symmetric points are opposite.
+        for (a, b) in t0.iter().zip(&t1) {
+            assert!((a + b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_descending() {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![
+                i as f64,
+                (i % 7) as f64 * 0.3,
+                (i % 3) as f64 * 0.01,
+            ]);
+        }
+        let pca = Pca::fit(&pts, 3);
+        let ev = pca.eigenvalues();
+        assert!(ev[0] >= ev[1] && ev[1] >= ev[2]);
+    }
+
+    #[test]
+    fn keeps_at_most_dim_components() {
+        let pts = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![0.0, 0.5]];
+        let pca = Pca::fit(&pts, 10);
+        assert_eq!(pca.components().len(), 2);
+    }
+
+    #[test]
+    fn dimensionality_reduction_preserves_separation() {
+        // Two far-apart blobs in 5-D stay far apart in 2-D.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 4) as f64 * 0.1;
+            pts.push(vec![j, j, j, j, j]);
+            pts.push(vec![10.0 + j, 10.0 + j, 10.0 + j, 10.0 + j, 10.0 + j]);
+        }
+        let pca = Pca::fit(&pts, 2);
+        let proj = pca.transform_all(&pts);
+        let d_within = crate::distance::euclidean(&proj[0], &proj[2]);
+        let d_between = crate::distance::euclidean(&proj[0], &proj[1]);
+        assert!(d_between > 10.0 * d_within.max(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        Pca::fit(&[], 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cluster-quality scores used to choose `k`.
+//!
+//! PKA sweeps `k = 1..20` and picks the best clustering; following the
+//! X-means lineage we score candidates with the Bayesian Information
+//! Criterion under a spherical Gaussian model, and also provide the
+//! silhouette coefficient as an alternative.
+
+use crate::distance::{euclidean, sq_euclidean};
+
+/// BIC of a k-means clustering under identical spherical Gaussians
+/// (Pelleg & Moore, X-means). Higher is better.
+///
+/// # Panics
+///
+/// Panics if inputs are inconsistent or empty.
+pub fn bic(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "assignment per point");
+    assert!(!points.is_empty(), "BIC needs points");
+    assert!(!centroids.is_empty(), "BIC needs centroids");
+    let n = points.len() as f64;
+    let k = centroids.len() as f64;
+    let d = points[0].len() as f64;
+
+    let mut counts = vec![0usize; centroids.len()];
+    let mut rss = 0.0;
+    for (p, &a) in points.iter().zip(assignments) {
+        assert!(a < centroids.len(), "assignment out of range");
+        counts[a] += 1;
+        rss += sq_euclidean(p, &centroids[a]);
+    }
+
+    // MLE of the shared spherical variance. Guard the fully-explained case.
+    let dof = (n - k).max(1.0);
+    let variance = (rss / (d * dof)).max(1e-12);
+
+    let mut log_likelihood = 0.0;
+    for &count in &counts {
+        if count == 0 {
+            continue;
+        }
+        let cn = count as f64;
+        log_likelihood += cn * cn.ln() - cn * n.ln()
+            - cn * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (cn - 1.0) * d / 2.0;
+    }
+    let free_params = k * (d + 1.0);
+    log_likelihood - free_params / 2.0 * n.ln()
+}
+
+/// Mean silhouette coefficient in `[-1, 1]`. Higher is better. Returns
+/// `0.0` when there is a single cluster (silhouette is undefined there).
+///
+/// # Panics
+///
+/// Panics if inputs are inconsistent or empty.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "assignment per point");
+    assert!(!points.is_empty(), "silhouette needs points");
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k <= 1 {
+        return 0.0;
+    }
+    let mut members = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+
+    let n = points.len();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        if members[own].len() <= 1 {
+            continue; // s(i) = 0 by convention for singleton clusters
+        }
+        // a(i): mean intra-cluster distance.
+        let a_i: f64 = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| euclidean(&points[i], &points[j]))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        // b(i): min over other clusters of mean distance.
+        let mut b_i = f64::INFINITY;
+        for (c, m) in members.iter().enumerate() {
+            if c == own || m.is_empty() {
+                continue;
+            }
+            let mean = m
+                .iter()
+                .map(|&j| euclidean(&points[i], &points[j]))
+                .sum::<f64>()
+                / m.len() as f64;
+            b_i = b_i.min(mean);
+        }
+        if b_i.is_finite() {
+            total += (b_i - a_i) / a_i.max(b_i);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{KMeans, KMeansConfig};
+
+    /// Gaussian-ish blobs: jitter from a sum of four LCG uniforms (CLT), so
+    /// within-blob structure is continuous rather than discrete levels.
+    fn blobs(k: usize, per: usize, gap: f64) -> Vec<Vec<f64>> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut uniform = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut gauss = move || {
+            (uniform() + uniform() + uniform() + uniform() - 2.0) * 2.0
+        };
+        let mut pts = Vec::new();
+        for c in 0..k {
+            for _ in 0..per {
+                pts.push(vec![c as f64 * gap + gauss(), c as f64 * gap + gauss()]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn bic_prefers_true_k() {
+        let pts = blobs(3, 40, 20.0);
+        let mut best_k = 0;
+        let mut best = f64::NEG_INFINITY;
+        for k in 1..=6 {
+            let km = KMeans::fit(&pts, KMeansConfig::new(k, 13));
+            let score = bic(&pts, km.assignments(), km.centroids());
+            if score > best {
+                best = score;
+                best_k = km.k();
+            }
+        }
+        assert_eq!(best_k, 3);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let pts = blobs(2, 30, 50.0);
+        let km = KMeans::fit(&pts, KMeansConfig::new(2, 3));
+        let s = silhouette(&pts, km.assignments());
+        assert!(s > 0.9, "silhouette = {s}");
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let pts = blobs(1, 10, 0.0);
+        let assignments = vec![0; pts.len()];
+        assert_eq!(silhouette(&pts, &assignments), 0.0);
+    }
+
+    #[test]
+    fn silhouette_penalizes_overclustering() {
+        // One tight blob split into 2 arbitrary halves scores poorly.
+        let pts = blobs(1, 40, 0.0);
+        let assignments: Vec<usize> = (0..pts.len()).map(|i| i % 2).collect();
+        let s = silhouette(&pts, &assignments);
+        assert!(s < 0.3, "silhouette = {s}");
+    }
+
+    #[test]
+    fn bic_is_finite_for_degenerate_clustering() {
+        let pts = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let centroids = vec![vec![1.0]];
+        let assignments = vec![0, 0, 0];
+        assert!(bic(&pts, &assignments, &centroids).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment per point")]
+    fn mismatched_rejected() {
+        bic(&[vec![1.0]], &[], &[vec![1.0]]);
+    }
+}

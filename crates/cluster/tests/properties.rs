@@ -1,0 +1,114 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+use stem_cluster::distance::{bbv_magnitude_similarity, bbv_similarity, euclidean, sq_euclidean};
+use stem_cluster::pca::Pca;
+use stem_cluster::{best_two_split, kmeans_1d, KMeans, KMeansConfig};
+
+proptest! {
+    #[test]
+    fn two_split_partitions_and_never_beats_total_sse(
+        values in prop::collection::vec(0.001f64..1e6, 2..300),
+    ) {
+        let split = best_two_split(&values);
+        let below = values.iter().filter(|&&v| v < split.threshold).count();
+        // The threshold realizes the reported partition.
+        if split.lower_count < values.len() {
+            prop_assert_eq!(below, split.lower_count);
+        }
+        // Split SSE never exceeds the unsplit SSE.
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let total: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+        prop_assert!(split.sse <= total + 1e-6 * total.abs().max(1.0));
+    }
+
+    #[test]
+    fn two_split_matches_dp(values in prop::collection::vec(0.001f64..1e4, 2..60)) {
+        let split = best_two_split(&values);
+        let (_, dp_sse) = kmeans_1d(&values, 2);
+        prop_assert!((split.sse - dp_sse).abs() <= 1e-6 * (1.0 + dp_sse));
+    }
+
+    #[test]
+    fn kmeans_1d_clusters_contiguous(
+        values in prop::collection::vec(-1e4f64..1e4, 3..80),
+        k in 1usize..6,
+    ) {
+        let (assign, _) = kmeans_1d(&values, k);
+        // Sort indices by value; cluster ids must be nondecreasing.
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+        let sorted_ids: Vec<usize> = order.iter().map(|&i| assign[i]).collect();
+        for w in sorted_ids.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest(
+        points in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 2), 2..50),
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let km = KMeans::fit(&points, KMeansConfig::new(k, seed));
+        for (p, &a) in points.iter().zip(km.assignments()) {
+            let d = sq_euclidean(p, &km.centroids()[a]);
+            for c in km.centroids() {
+                prop_assert!(d <= sq_euclidean(p, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_weighted_total_preserved(
+        points in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 1), 2..30),
+        seed in 0u64..50,
+    ) {
+        let weights = vec![2.0; points.len()];
+        let km = KMeans::fit_weighted(&points, &weights, KMeansConfig::new(2, seed));
+        prop_assert_eq!(km.assignments().len(), points.len());
+        prop_assert!(km.inertia() >= 0.0);
+    }
+
+    #[test]
+    fn distances_satisfy_identity_and_symmetry(
+        a in prop::collection::vec(-1e3f64..1e3, 1..20),
+    ) {
+        prop_assert!(euclidean(&a, &a) < 1e-9);
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        prop_assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbv_similarities_bounded(
+        a in prop::collection::vec(0.0f64..1e6, 1..30),
+        b_scale in 0.1f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * b_scale).collect();
+        let s1 = bbv_similarity(&a, &b);
+        let s2 = bbv_magnitude_similarity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s1));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s2));
+        // Pure rescaling: normalized similarity is 1; magnitude similarity
+        // penalizes the volume change.
+        if a.iter().any(|&v| v > 0.0) {
+            prop_assert!(s1 > 1.0 - 1e-9);
+            if (b_scale - 1.0).abs() > 0.01 {
+                prop_assert!(s2 < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_projection_dimension(
+        points in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 3..40),
+        keep in 1usize..3,
+    ) {
+        let pca = Pca::fit(&points, keep);
+        let projected = pca.transform_all(&points);
+        for p in &projected {
+            prop_assert_eq!(p.len(), keep.min(3));
+            prop_assert!(p.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Evaluation metrics: sampling error (Eq. 1), speedup, and the paper's
+//! aggregation conventions (harmonic-mean speedup, arithmetic-mean error —
+//! Sec. 4, citing Eeckhout's "RIP geomean speedup").
+
+use crate::sampler::KernelSampler;
+use gpu_sim::{FullRun, Simulator};
+use gpu_workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One repetition's outcome on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Method name.
+    pub method: String,
+    /// Workload name.
+    pub workload: String,
+    /// Sampling error in percent (Eq. 1).
+    pub error_pct: f64,
+    /// Speedup over full simulation (full cycles / sampled cycles).
+    pub speedup: f64,
+    /// Number of sampled invocations.
+    pub num_samples: usize,
+    /// The method's own theoretical error prediction, percent (0 if none).
+    pub predicted_error_pct: f64,
+}
+
+/// Aggregated outcome over repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Method name.
+    pub method: String,
+    /// Workload name.
+    pub workload: String,
+    /// Arithmetic mean of per-rep errors, percent.
+    pub mean_error_pct: f64,
+    /// Harmonic mean of per-rep speedups.
+    pub harmonic_speedup: f64,
+    /// All repetitions.
+    pub results: Vec<EvalResult>,
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Harmonic mean (the paper's speedup aggregation).
+///
+/// # Panics
+///
+/// Panics on an empty slice or nonpositive values.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "harmonic mean of empty slice");
+    let recip: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "harmonic mean requires positive values");
+            1.0 / v
+        })
+        .sum();
+    values.len() as f64 / recip
+}
+
+/// Evaluates one sampling method once on one workload against a
+/// pre-computed full run.
+pub fn evaluate_once(
+    sampler: &dyn KernelSampler,
+    workload: &Workload,
+    sim: &Simulator,
+    full: &FullRun,
+    rep_seed: u64,
+) -> EvalResult {
+    let plan = sampler.plan(workload, rep_seed);
+    let run = sim.run_sampled(workload, plan.samples());
+    EvalResult {
+        method: sampler.name().to_string(),
+        workload: workload.name().to_string(),
+        error_pct: run.error(full.total_cycles) * 100.0,
+        speedup: run.speedup(full.total_cycles),
+        num_samples: plan.num_samples(),
+        predicted_error_pct: plan.predicted_error() * 100.0,
+    }
+}
+
+/// Evaluates over `reps` repetitions (the paper uses 10), averaging error
+/// arithmetically and speedup harmonically.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn evaluate(
+    sampler: &dyn KernelSampler,
+    workload: &Workload,
+    sim: &Simulator,
+    full: &FullRun,
+    reps: u32,
+    base_seed: u64,
+) -> EvalSummary {
+    assert!(reps > 0, "at least one repetition required");
+    let results: Vec<EvalResult> = (0..reps)
+        .map(|r| {
+            evaluate_once(
+                sampler,
+                workload,
+                sim,
+                full,
+                base_seed.wrapping_add(r as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )
+        })
+        .collect();
+    let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
+    let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    EvalSummary {
+        method: sampler.name().to_string(),
+        workload: workload.name().to_string(),
+        mean_error_pct: arithmetic_mean(&errors),
+        harmonic_speedup: harmonic_mean(&speedups),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StemConfig;
+    use crate::stem::StemRootSampler;
+    use gpu_sim::GpuConfig;
+    use gpu_workload::suites::rodinia_suite;
+
+    #[test]
+    fn means() {
+        assert_eq!(arithmetic_mean(&[1.0, 3.0]), 2.0);
+        assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn harmonic_below_arithmetic() {
+        let v = [2.0, 8.0, 32.0];
+        assert!(harmonic_mean(&v) < arithmetic_mean(&v));
+    }
+
+    #[test]
+    fn evaluate_aggregates_reps() {
+        let suite = rodinia_suite(13);
+        let w = &suite[0];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let summary = evaluate(&sampler, w, &sim, &full, 3, 0);
+        assert_eq!(summary.results.len(), 3);
+        assert!(summary.mean_error_pct < 6.0);
+        assert!(summary.harmonic_speedup >= 1.0);
+        assert_eq!(summary.method, "STEM");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        let suite = rodinia_suite(13);
+        let w = &suite[0];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        evaluate(&sampler, w, &sim, &full, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn harmonic_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! The end-to-end sampled-simulation pipeline of Fig. 5: profile → sample →
+//! simulate → report.
+
+use crate::eval::{evaluate, EvalSummary};
+use crate::sampler::KernelSampler;
+use gpu_sim::{FullRun, Simulator};
+use gpu_workload::Workload;
+
+/// Convenience driver binding a target simulator and experiment settings.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{GpuConfig, Simulator};
+/// use gpu_workload::suites::rodinia_suite;
+/// use stem_core::{Pipeline, StemConfig, StemRootSampler};
+///
+/// let sim = Simulator::new(GpuConfig::rtx2080());
+/// let pipeline = Pipeline::new(sim).with_reps(3);
+/// let sampler = StemRootSampler::new(StemConfig::default());
+/// let summary = pipeline.run(&sampler, &rodinia_suite(7)[0]);
+/// assert!(summary.mean_error_pct < 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    sim: Simulator,
+    reps: u32,
+    base_seed: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline targeting `sim`, with the paper's 10 repetitions.
+    pub fn new(sim: Simulator) -> Self {
+        Pipeline {
+            sim,
+            reps: 10,
+            base_seed: 1,
+        }
+    }
+
+    /// Overrides the repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps == 0`.
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        assert!(reps > 0, "at least one repetition required");
+        self.reps = reps;
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The target simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Ground-truth full simulation (exposed so callers can reuse it across
+    /// methods — it is by far the most expensive step).
+    pub fn full_run(&self, workload: &Workload) -> FullRun {
+        self.sim.run_full(workload)
+    }
+
+    /// Runs the whole pipeline for one sampler on one workload.
+    pub fn run(&self, sampler: &dyn KernelSampler, workload: &Workload) -> EvalSummary {
+        let full = self.full_run(workload);
+        self.run_against(sampler, workload, &full)
+    }
+
+    /// Runs against a precomputed full run.
+    pub fn run_against(
+        &self,
+        sampler: &dyn KernelSampler,
+        workload: &Workload,
+        full: &FullRun,
+    ) -> EvalSummary {
+        evaluate(sampler, workload, &self.sim, full, self.reps, self.base_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StemConfig;
+    use crate::stem::StemRootSampler;
+    use gpu_sim::GpuConfig;
+    use gpu_workload::suites::rodinia_suite;
+
+    #[test]
+    fn full_run_reused_across_methods() {
+        let suite = rodinia_suite(17);
+        let w = &suite[0];
+        let pipeline = Pipeline::new(Simulator::new(GpuConfig::rtx2080())).with_reps(2);
+        let full = pipeline.full_run(w);
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let a = pipeline.run_against(&sampler, w, &full);
+        let b = pipeline.run(&sampler, w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        Pipeline::new(Simulator::new(GpuConfig::rtx2080())).with_reps(0);
+    }
+}

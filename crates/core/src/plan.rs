@@ -1,0 +1,134 @@
+//! Sampling plans: the output of every sampling method.
+
+use gpu_sim::WeightedSample;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one cluster in a plan (for diagnostics and figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Kernel name the cluster belongs to.
+    pub kernel: String,
+    /// Number of invocations in the cluster (`N_i`).
+    pub population: u64,
+    /// Mean profiled execution time.
+    pub mean_time: f64,
+    /// Profiled execution-time standard deviation.
+    pub std_time: f64,
+    /// Sample size drawn from this cluster (`m_i`).
+    pub samples: u64,
+}
+
+/// A complete sampling plan: the invocations to simulate, their
+/// extrapolation weights, and per-cluster diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingPlan {
+    method: String,
+    samples: Vec<WeightedSample>,
+    clusters: Vec<ClusterSummary>,
+    predicted_error: f64,
+}
+
+impl SamplingPlan {
+    /// Assembles a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `predicted_error` is negative/NaN.
+    pub fn new(
+        method: impl Into<String>,
+        samples: Vec<WeightedSample>,
+        clusters: Vec<ClusterSummary>,
+        predicted_error: f64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "a plan must contain samples");
+        assert!(
+            predicted_error >= 0.0,
+            "predicted error must be nonnegative, got {predicted_error}"
+        );
+        SamplingPlan {
+            method: method.into(),
+            samples,
+            clusters,
+            predicted_error,
+        }
+    }
+
+    /// Sampling method that produced this plan.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The invocations to simulate, with weights.
+    pub fn samples(&self) -> &[WeightedSample] {
+        &self.samples
+    }
+
+    /// Per-cluster diagnostics (may be empty for methods without a cluster
+    /// notion, e.g. uniform random).
+    pub fn clusters(&self) -> &[ClusterSummary] {
+        &self.clusters
+    }
+
+    /// Theoretical error prediction (0 for methods without one).
+    pub fn predicted_error(&self) -> f64 {
+        self.predicted_error
+    }
+
+    /// Number of sampled invocations.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total weight (should approximate the workload's invocation count for
+    /// count-weighted estimators).
+    pub fn total_weight(&self) -> f64 {
+        self.samples.iter().map(|s| s.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: usize, w: f64) -> WeightedSample {
+        WeightedSample::new(i, w)
+    }
+
+    #[test]
+    fn accessors() {
+        let plan = SamplingPlan::new(
+            "test",
+            vec![sample(0, 2.0), sample(3, 2.0)],
+            vec![ClusterSummary {
+                kernel: "k".to_string(),
+                population: 4,
+                mean_time: 10.0,
+                std_time: 1.0,
+                samples: 2,
+            }],
+            0.01,
+        );
+        assert_eq!(plan.method(), "test");
+        assert_eq!(plan.num_samples(), 2);
+        assert_eq!(plan.num_clusters(), 1);
+        assert!((plan.total_weight() - 4.0).abs() < 1e-12);
+        assert_eq!(plan.predicted_error(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain samples")]
+    fn empty_plan_rejected() {
+        SamplingPlan::new("x", vec![], vec![], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_error_rejected() {
+        SamplingPlan::new("x", vec![sample(0, 1.0)], vec![], -1.0);
+    }
+}

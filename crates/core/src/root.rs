@@ -1,0 +1,376 @@
+//! ROOT: fine-grained hierarchical GPU kernel clustering (Sec. 3.4).
+//!
+//! Kernel invocations are first grouped by kernel (name), then each group's
+//! execution-time distribution is recursively split in two. A split is
+//! accepted exactly when STEM projects it to *reduce sampled simulation
+//! time*: the parent's projected time `tau_old = m * mean` (Eq. 7, with `m`
+//! from the single-cluster Eq. 3) is compared against the children's joint
+//! KKT projection `tau_new = sum_i m_i * mean_i` (Eq. 8). Multi-peak
+//! distributions split until each cluster holds a single peak; unimodal
+//! ones stop immediately — no `k` needs to be known in advance, which is
+//! ROOT's point.
+
+use crate::config::StemConfig;
+use gpu_workload::{KernelId, Workload};
+use stem_cluster::{best_two_split, kmeans_1d};
+use stem_stats::clt::sample_size;
+use stem_stats::kkt::{solve_sample_sizes, ClusterStat};
+use stem_stats::Summary;
+
+/// A leaf cluster produced by ROOT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCluster {
+    /// The kernel whose invocations this cluster holds.
+    pub kernel: KernelId,
+    /// Invocation indices (into the workload's stream).
+    pub members: Vec<usize>,
+    /// Profiled execution-time statistics of the members.
+    pub stat: ClusterStat,
+}
+
+/// A leaf cluster over arbitrary indexed items (used by the execution-trace
+/// extension, where items are DAG nodes rather than stream invocations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexCluster {
+    /// Item indices.
+    pub members: Vec<usize>,
+    /// Profiled time statistics of the members.
+    pub stat: ClusterStat,
+}
+
+/// Runs ROOT's recursive splitting over one pre-grouped set of items.
+/// `times` is indexed by the values in `members`.
+///
+/// # Panics
+///
+/// Panics if `members` is empty, any index is out of range, or any
+/// referenced time is nonpositive/non-finite.
+pub fn cluster_indices(
+    members: Vec<usize>,
+    times: &[f64],
+    config: &StemConfig,
+) -> Vec<IndexCluster> {
+    assert!(!members.is_empty(), "cannot cluster an empty group");
+    for &m in &members {
+        assert!(m < times.len(), "member index {m} out of range");
+        assert!(
+            times[m].is_finite() && times[m] > 0.0,
+            "profiled times must be positive and finite"
+        );
+    }
+    config.validate();
+    let mut tagged = Vec::new();
+    split_recursive(KernelId(0), members, times, config, 0, &mut tagged);
+    tagged
+        .into_iter()
+        .map(|c| IndexCluster {
+            members: c.members,
+            stat: c.stat,
+        })
+        .collect()
+}
+
+/// Runs ROOT over a whole workload: groups invocations by kernel and
+/// recursively splits each group. `times[i]` is the profiled execution time
+/// of invocation `i`.
+///
+/// # Panics
+///
+/// Panics if `times.len()` differs from the workload's invocation count, if
+/// any time is nonpositive/non-finite, or if the workload is empty.
+pub fn cluster_workload(
+    workload: &Workload,
+    times: &[f64],
+    config: &StemConfig,
+) -> Vec<KernelCluster> {
+    assert_eq!(
+        times.len(),
+        workload.num_invocations(),
+        "one profiled time per invocation required"
+    );
+    assert!(!times.is_empty(), "cannot cluster an empty workload");
+    for &t in times {
+        assert!(
+            t.is_finite() && t > 0.0,
+            "profiled times must be positive and finite"
+        );
+    }
+    config.validate();
+
+    let mut out = Vec::new();
+    for (kernel, members) in workload.invocations_by_kernel() {
+        split_recursive(kernel, members, times, config, 0, &mut out);
+    }
+    out
+}
+
+/// Recursive splitter for one cluster of one kernel.
+fn split_recursive(
+    kernel: KernelId,
+    members: Vec<usize>,
+    times: &[f64],
+    config: &StemConfig,
+    depth: usize,
+    out: &mut Vec<KernelCluster>,
+) {
+    let summary: Summary = members.iter().map(|&i| times[i]).collect();
+    let stat = ClusterStat::new(
+        members.len() as u64,
+        summary.mean(),
+        summary.population_std_dev(),
+    );
+
+    let stop_here = members.len() < config.min_split_size
+        || stat.std_dev == 0.0
+        || depth >= config.max_depth;
+    if stop_here {
+        out.push(KernelCluster {
+            kernel,
+            members,
+            stat,
+        });
+        return;
+    }
+
+    // tau_old (Eq. 7): projected sampled time without splitting.
+    let eps = config.epsilon;
+    let z = config.z();
+    let m_old = sample_size(stat.mean, stat.std_dev, eps, z).min(stat.n);
+    let tau_old = m_old as f64 * stat.mean;
+
+    // Split into k sub-clusters by execution time.
+    let children = split_once(&members, times, config.k_split);
+    if children.len() < 2 {
+        out.push(KernelCluster {
+            kernel,
+            members,
+            stat,
+        });
+        return;
+    }
+
+    // tau_new (Eq. 8): joint KKT projection across the children.
+    let child_stats: Vec<ClusterStat> = children
+        .iter()
+        .map(|c| {
+            let s: Summary = c.iter().map(|&i| times[i]).collect();
+            ClusterStat::new(c.len() as u64, s.mean(), s.population_std_dev())
+        })
+        .collect();
+    let sol = solve_sample_sizes(&child_stats, eps, z);
+    let tau_new = sol.tau;
+
+    if tau_new < tau_old {
+        for child in children {
+            split_recursive(kernel, child, times, config, depth + 1, out);
+        }
+    } else {
+        out.push(KernelCluster {
+            kernel,
+            members,
+            stat,
+        });
+    }
+}
+
+/// One k-way 1-D split. Uses the exact O(n log n) two-way split for `k = 2`
+/// (the paper's setting) and the exact DP for larger `k`. Children that
+/// would be empty are dropped.
+fn split_once(members: &[usize], times: &[f64], k: usize) -> Vec<Vec<usize>> {
+    let values: Vec<f64> = members.iter().map(|&i| times[i]).collect();
+    if k == 2 {
+        let split = best_two_split(&values);
+        if split.lower_count == 0 || split.lower_count == members.len() {
+            return vec![members.to_vec()];
+        }
+        let mut lower = Vec::with_capacity(split.lower_count);
+        let mut upper = Vec::with_capacity(members.len() - split.lower_count);
+        for (&idx, &v) in members.iter().zip(&values) {
+            if v < split.threshold {
+                lower.push(idx);
+            } else {
+                upper.push(idx);
+            }
+        }
+        vec![lower, upper]
+    } else {
+        let (assignments, _) = kmeans_1d(&values, k);
+        let num = assignments.iter().copied().max().unwrap_or(0) + 1;
+        let mut children = vec![Vec::new(); num];
+        for (&idx, &a) in members.iter().zip(&assignments) {
+            children[a].push(idx);
+        }
+        children.retain(|c| !c.is_empty());
+        children
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workload::kernel::KernelClassBuilder;
+    use gpu_workload::{RuntimeContext, SuiteKind, WorkloadBuilder};
+
+    /// A workload with one kernel and a synthetic time array we control.
+    fn flat_workload(n: usize) -> Workload {
+        let mut b = WorkloadBuilder::new("t", SuiteKind::Custom, 1);
+        let id = b.add_kernel(
+            KernelClassBuilder::new("k").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        for _ in 0..n {
+            b.invoke(id, 0, 1.0);
+        }
+        b.build()
+    }
+
+    fn config() -> StemConfig {
+        StemConfig::paper()
+    }
+
+    #[test]
+    fn unimodal_stays_single_cluster() {
+        let n = 1000;
+        let w = flat_workload(n);
+        // Times tightly clustered around 100 with tiny spread.
+        let times: Vec<f64> = (0..n).map(|i| 100.0 + (i % 10) as f64 * 0.01).collect();
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), n);
+    }
+
+    #[test]
+    fn bimodal_splits_into_two() {
+        let n = 1000;
+        let w = flat_workload(n);
+        let times: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    10.0 + (i % 20) as f64 * 0.01
+                } else {
+                    200.0 + (i % 20) as f64 * 0.05
+                }
+            })
+            .collect();
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
+        let total: usize = clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, n);
+        // Members of each cluster come from one mode.
+        for c in &clusters {
+            let all_low = c.members.iter().all(|&i| times[i] < 50.0);
+            let all_high = c.members.iter().all(|&i| times[i] > 50.0);
+            assert!(all_low || all_high);
+        }
+    }
+
+    #[test]
+    fn trimodal_splits_into_three_with_k2() {
+        // Recursion with k = 2 still isolates three peaks.
+        let n = 1200;
+        let w = flat_workload(n);
+        let times: Vec<f64> = (0..n)
+            .map(|i| match i % 3 {
+                0 => 10.0 + (i % 30) as f64 * 0.005,
+                1 => 100.0 + (i % 30) as f64 * 0.02,
+                _ => 1000.0 + (i % 30) as f64 * 0.2,
+            })
+            .collect();
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 3, "got {} clusters", clusters.len());
+    }
+
+    #[test]
+    fn splits_reduce_projected_time() {
+        // The accepted clustering's joint KKT tau never exceeds the
+        // no-split tau.
+        let n = 2000;
+        let w = flat_workload(n);
+        let times: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 10.0 + (i % 40) as f64 * 0.01 } else { 500.0 + (i % 40) as f64 * 0.3 })
+            .collect();
+        let cfg = config();
+        let clusters = cluster_workload(&w, &times, &cfg);
+        let stats: Vec<_> = clusters.iter().map(|c| c.stat).collect();
+        let tau_split = solve_sample_sizes(&stats, cfg.epsilon, cfg.z()).tau;
+
+        let all: Summary = times.iter().copied().collect();
+        let whole = ClusterStat::new(n as u64, all.mean(), all.population_std_dev());
+        let m = sample_size(whole.mean, whole.std_dev, cfg.epsilon, cfg.z()).min(whole.n);
+        let tau_whole = m as f64 * whole.mean;
+        assert!(
+            tau_split <= tau_whole,
+            "tau_split {tau_split} vs tau_whole {tau_whole}"
+        );
+    }
+
+    #[test]
+    fn tiny_clusters_not_split() {
+        let w = flat_workload(4);
+        let times = vec![1.0, 100.0, 1.0, 100.0];
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 1); // below min_split_size
+    }
+
+    #[test]
+    fn constant_times_never_split() {
+        let w = flat_workload(100);
+        let times = vec![5.0; 100];
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].stat.std_dev, 0.0);
+    }
+
+    #[test]
+    fn multiple_kernels_grouped_separately() {
+        let mut b = WorkloadBuilder::new("t", SuiteKind::Custom, 1);
+        let a = b.add_kernel(
+            KernelClassBuilder::new("a").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        let k2 = b.add_kernel(
+            KernelClassBuilder::new("b").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        for _ in 0..50 {
+            b.invoke(a, 0, 1.0);
+            b.invoke(k2, 0, 1.0);
+        }
+        let w = b.build();
+        let times: Vec<f64> = (0..100).map(|i| 10.0 + (i % 7) as f64 * 0.01).collect();
+        let clusters = cluster_workload(&w, &times, &config());
+        assert_eq!(clusters.len(), 2);
+        assert_ne!(clusters[0].kernel, clusters[1].kernel);
+    }
+
+    #[test]
+    fn k3_splitting_works() {
+        let n = 600;
+        let w = flat_workload(n);
+        let times: Vec<f64> = (0..n)
+            .map(|i| match i % 3 {
+                0 => 1.0 + (i % 20) as f64 * 0.001,
+                1 => 50.0 + (i % 20) as f64 * 0.01,
+                _ => 900.0 + (i % 20) as f64 * 0.1,
+            })
+            .collect();
+        let mut cfg = config();
+        cfg.k_split = 3;
+        let clusters = cluster_workload(&w, &times, &cfg);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one profiled time per invocation")]
+    fn mismatched_times_rejected() {
+        let w = flat_workload(10);
+        cluster_workload(&w, &[1.0], &config());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_times_rejected() {
+        let w = flat_workload(2);
+        cluster_workload(&w, &[1.0, 0.0], &config());
+    }
+}

@@ -1,0 +1,53 @@
+//! The sampling-method interface.
+
+use crate::plan::SamplingPlan;
+use gpu_workload::Workload;
+
+/// A kernel-level sampling method: given a workload (and whatever profile
+/// data the method's construction baked in), produce a [`SamplingPlan`].
+///
+/// `rep_seed` varies across the experiment's repetitions (the paper repeats
+/// every experiment 10 times and averages): it must drive all random draws
+/// of the method (random sampling with replacement, k-means++ seeding, ...)
+/// so that repetitions differ while everything stays reproducible.
+pub trait KernelSampler {
+    /// Short method name as used in the paper's tables ("STEM", "PKA",
+    /// "Sieve", "Photon", "Random").
+    fn name(&self) -> &'static str;
+
+    /// Builds a sampling plan for `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on empty workloads.
+    fn plan(&self, workload: &Workload, rep_seed: u64) -> SamplingPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WeightedSample;
+
+    /// The trait is object safe (samplers are stored as `&dyn` in the
+    /// experiment harness).
+    #[test]
+    fn object_safety() {
+        struct Trivial;
+        impl KernelSampler for Trivial {
+            fn name(&self) -> &'static str {
+                "trivial"
+            }
+            fn plan(&self, workload: &Workload, _rep_seed: u64) -> SamplingPlan {
+                let n = workload.num_invocations() as f64;
+                SamplingPlan::new(
+                    self.name(),
+                    vec![WeightedSample::new(0, n)],
+                    vec![],
+                    0.0,
+                )
+            }
+        }
+        let boxed: Box<dyn KernelSampler> = Box::new(Trivial);
+        assert_eq!(boxed.name(), "trivial");
+    }
+}

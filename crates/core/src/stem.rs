@@ -1,0 +1,388 @@
+//! The STEM+ROOT sampler: profile → ROOT clustering → KKT sample sizing →
+//! random sampling with replacement.
+
+use crate::config::StemConfig;
+use crate::plan::{ClusterSummary, SamplingPlan};
+use crate::root::{cluster_workload, KernelCluster};
+use crate::sampler::KernelSampler;
+use gpu_profile::ExecTimeProfiler;
+use gpu_sim::WeightedSample;
+use gpu_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stem_stats::kkt::{per_cluster_sample_sizes, solve_sample_sizes};
+
+/// How sample sizes are assigned across clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sizing {
+    /// The joint KKT optimization of Eq. (6) — the full STEM.
+    JointKkt,
+    /// Independent Eq. (3) per cluster — the paper's Sec. 3.3 foil, which
+    /// costs 2–3x more samples (kept for the ablation harness).
+    PerCluster,
+}
+
+/// The paper's sampler. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct StemRootSampler {
+    config: StemConfig,
+    profiler: ExecTimeProfiler,
+    sizing: Sizing,
+    enable_root: bool,
+}
+
+impl StemRootSampler {
+    /// Creates the sampler with the full STEM+ROOT pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(config: StemConfig) -> Self {
+        config.validate();
+        let profiler = ExecTimeProfiler::new(config.profile_config.clone(), config.profile_seed);
+        StemRootSampler {
+            config,
+            profiler,
+            sizing: Sizing::JointKkt,
+            enable_root: true,
+        }
+    }
+
+    /// Switches to per-cluster Eq. (3) sizing (ablation).
+    pub fn with_sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Disables ROOT's hierarchical splitting: one cluster per kernel name
+    /// (ablation isolating ROOT's contribution).
+    pub fn without_root(mut self) -> Self {
+        self.enable_root = false;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StemConfig {
+        &self.config
+    }
+
+    /// Runs ROOT only, returning the leaf clusters (for diagnostics and
+    /// figures).
+    pub fn clusters(&self, workload: &Workload) -> Vec<KernelCluster> {
+        let times = self.profiler.profile(workload);
+        self.cluster_times(workload, &times)
+    }
+
+    /// Builds a plan from an *externally supplied* execution-time profile
+    /// — the entry point for users who bring real profiler output (e.g. an
+    /// Nsight Systems CSV parsed with [`gpu_profile::csv`]) instead of the
+    /// built-in hardware model. `times[i]` must be the measured execution
+    /// time of invocation `i`, in any consistent unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` does not have one positive, finite entry per
+    /// invocation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpu_workload::suites::rodinia_suite;
+    /// use stem_core::{StemConfig, StemRootSampler};
+    ///
+    /// let workload = &rodinia_suite(1)[0];
+    /// // Stand-in for times parsed from a real profiler trace:
+    /// let times: Vec<f64> = (0..workload.num_invocations())
+    ///     .map(|i| 100.0 + (i % 7) as f64)
+    ///     .collect();
+    /// let sampler = StemRootSampler::new(StemConfig::default());
+    /// let plan = sampler.plan_from_times(workload, &times, 0);
+    /// assert!(plan.num_samples() > 0);
+    /// ```
+    pub fn plan_from_times(
+        &self,
+        workload: &Workload,
+        times: &[f64],
+        rep_seed: u64,
+    ) -> SamplingPlan {
+        self.plan_inner(workload, times, rep_seed)
+    }
+
+    fn cluster_times(&self, workload: &Workload, times: &[f64]) -> Vec<KernelCluster> {
+        if self.enable_root {
+            cluster_workload(workload, times, &self.config)
+        } else {
+            // One cluster per kernel name, no splitting.
+            let mut cfg = self.config.clone();
+            cfg.max_depth = 1;
+            cfg.min_split_size = usize::MAX;
+            cluster_workload(workload, times, &cfg)
+        }
+    }
+}
+
+impl KernelSampler for StemRootSampler {
+    fn name(&self) -> &'static str {
+        "STEM"
+    }
+
+    fn plan(&self, workload: &Workload, rep_seed: u64) -> SamplingPlan {
+        assert!(
+            workload.num_invocations() > 0,
+            "cannot sample an empty workload"
+        );
+        let times = self.profiler.profile(workload);
+        self.plan_inner(workload, &times, rep_seed)
+    }
+}
+
+impl StemRootSampler {
+    fn plan_inner(&self, workload: &Workload, times: &[f64], rep_seed: u64) -> SamplingPlan {
+        let clusters = self.cluster_times(workload, times);
+        let stats: Vec<_> = clusters.iter().map(|c| c.stat).collect();
+        let eps = self.config.epsilon;
+        let z = self.config.z();
+
+        let (mut sizes, predicted_error) = match self.sizing {
+            Sizing::JointKkt => {
+                let sol = solve_sample_sizes(&stats, eps, z);
+                (sol.sizes, sol.predicted_error)
+            }
+            Sizing::PerCluster => {
+                let sizes = per_cluster_sample_sizes(&stats, eps, z);
+                let e = stem_stats::bound::theoretical_error(&stats, &sizes, z);
+                (sizes, e)
+            }
+        };
+
+        if self.config.small_sample_correction {
+            apply_small_sample_correction(&mut sizes, &stats, self.config.confidence, z);
+        }
+
+        let mut rng = StdRng::seed_from_u64(rep_seed ^ self.config.profile_seed.rotate_left(17));
+        let mut samples = Vec::new();
+        let mut summaries = Vec::with_capacity(clusters.len());
+        for (cluster, &m) in clusters.iter().zip(&sizes) {
+            let n = cluster.members.len();
+            let m = (m as usize).clamp(1, n.max(1));
+            let weight = n as f64 / m as f64;
+            if m == n {
+                // Fully simulated: take every member once, exactly.
+                for &idx in &cluster.members {
+                    samples.push(WeightedSample::new(idx, 1.0));
+                }
+            } else {
+                // Random sampling with replacement (i.i.d. for the CLT).
+                for _ in 0..m {
+                    let pick = cluster.members[rng.random_range(0..n)];
+                    samples.push(WeightedSample::new(pick, weight));
+                }
+            }
+            summaries.push(ClusterSummary {
+                kernel: workload.kernels()[cluster.kernel.index()].name.clone(),
+                population: n as u64,
+                mean_time: cluster.stat.mean,
+                std_time: cluster.stat.std_dev,
+                samples: m as u64,
+            });
+        }
+
+        SamplingPlan::new(self.name(), samples, summaries, predicted_error)
+    }
+}
+
+/// Inflates sample sizes of small clusters using Student's t critical
+/// value (df = m - 1) in place of z, by fixed-point iteration:
+/// `m' = ceil(m * (t/z)^2)` until stable. The CLT's normal interval is
+/// anticonservative below ~30 samples (the Sec. 3.2 rule-of-thumb caveat);
+/// this makes the bound honest there. Sizes of 1 (no degrees of freedom)
+/// and fully-simulated clusters (exact) are untouched.
+fn apply_small_sample_correction(
+    sizes: &mut [u64],
+    stats: &[stem_stats::kkt::ClusterStat],
+    confidence: f64,
+    z: f64,
+) {
+    for (m, stat) in sizes.iter_mut().zip(stats) {
+        if *m < 2 || *m >= 30 || *m >= stat.n {
+            continue;
+        }
+        // The z-based size satisfies m_base ~ (z * cov / eps)^2; the
+        // t-based requirement is m >= (t_{m-1} * cov / eps)^2
+        // = m_base * (t_{m-1} / z)^2. Scan upward for the smallest such m
+        // (the right side shrinks as m grows, so this terminates).
+        let m_base = *m as f64;
+        let mut candidate = *m;
+        loop {
+            let t = stem_stats::student_t::t_for_confidence(confidence, (candidate - 1) as f64);
+            let required = m_base * (t / z).powi(2);
+            if candidate as f64 >= required || candidate >= stat.n {
+                break;
+            }
+            candidate += 1;
+        }
+        *m = candidate.min(stat.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, Simulator};
+    use gpu_workload::suites::{casio_suite, rodinia_suite};
+
+    fn sampler() -> StemRootSampler {
+        StemRootSampler::new(StemConfig::paper())
+    }
+
+    #[test]
+    fn plan_meets_bound_on_rodinia() {
+        let suite = rodinia_suite(11);
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        for w in suite.iter().take(4) {
+            let full = sim.run_full(w);
+            let plan = sampler().plan(w, 1);
+            let run = sim.run_sampled(w, plan.samples());
+            let err = run.error(full.total_cycles);
+            assert!(
+                err < 0.06,
+                "{}: error {err} exceeds bound (predicted {})",
+                w.name(),
+                plan.predicted_error()
+            );
+        }
+    }
+
+    #[test]
+    fn heartwall_handled() {
+        // The PKA/Sieve killer: STEM must stay accurate.
+        let suite = rodinia_suite(11);
+        let h = suite.iter().find(|w| w.name() == "heartwall").expect("heartwall");
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(h);
+        let plan = sampler().plan(h, 3);
+        let run = sim.run_sampled(h, plan.samples());
+        assert!(run.error(full.total_cycles) < 0.05);
+    }
+
+    #[test]
+    fn casio_error_is_near_zero_with_large_speedup() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "resnet50_infer").expect("resnet");
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let plan = sampler().plan(w, 5);
+        let run = sim.run_sampled(w, plan.samples());
+        let err = run.error(full.total_cycles);
+        let speedup = run.speedup(full.total_cycles);
+        assert!(err < 0.02, "error {err}");
+        assert!(speedup > 10.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn multi_peak_kernels_get_multiple_clusters() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "resnet50_infer").expect("resnet");
+        let s = sampler();
+        let clusters = s.clusters(w);
+        let bn_clusters = clusters
+            .iter()
+            .filter(|c| {
+                w.kernels()[c.kernel.index()].name.starts_with("bn_fw_inf")
+            })
+            .count();
+        assert!(bn_clusters >= 2, "bn split into {bn_clusters} clusters");
+    }
+
+    #[test]
+    fn kkt_sizing_uses_fewer_samples_than_per_cluster() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "bert_infer").expect("bert");
+        let joint = sampler().plan(w, 1).num_samples();
+        let per = sampler()
+            .with_sizing(Sizing::PerCluster)
+            .plan(w, 1)
+            .num_samples();
+        assert!(
+            per as f64 / joint as f64 > 1.3,
+            "per-cluster {per} vs joint {joint}"
+        );
+    }
+
+    #[test]
+    fn without_root_has_one_cluster_per_kernel() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "resnet50_infer").expect("resnet");
+        let s = sampler().without_root();
+        let clusters = s.clusters(w);
+        assert_eq!(clusters.len(), w.kernels().len());
+    }
+
+    #[test]
+    fn root_reduces_samples_on_multimodal_workloads() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "resnet50_infer").expect("resnet");
+        let with_root = sampler().plan(w, 2).num_samples();
+        let without = sampler().without_root().plan(w, 2).num_samples();
+        assert!(
+            with_root < without,
+            "root {with_root} vs flat {without}"
+        );
+    }
+
+    #[test]
+    fn small_sample_correction_never_reduces_samples() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "bert_infer").expect("bert");
+        let base = sampler().plan(w, 1);
+        let corrected = StemRootSampler::new(StemConfig::paper().with_small_sample_correction())
+            .plan(w, 1);
+        assert!(corrected.num_samples() >= base.num_samples());
+        // Per-cluster: corrected sizes dominate the base sizes.
+        for (b, c) in base.clusters().iter().zip(corrected.clusters()) {
+            assert!(c.samples >= b.samples, "{}: {} < {}", b.kernel, c.samples, b.samples);
+        }
+        // Sizes already exact (m == N) or singleton stay put.
+        for (b, c) in base.clusters().iter().zip(corrected.clusters()) {
+            if b.samples == 1 || b.samples >= b.population {
+                assert_eq!(b.samples, c.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn small_sample_correction_stays_within_bound() {
+        let suite = rodinia_suite(11);
+        let w = &suite[3];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let s = StemRootSampler::new(StemConfig::paper().with_small_sample_correction());
+        let run = sim.run_sampled(w, s.plan(w, 1).samples());
+        assert!(run.error(full.total_cycles) < 0.05);
+    }
+
+    #[test]
+    fn reps_differ_but_are_deterministic() {
+        let suite = rodinia_suite(11);
+        let w = &suite[0];
+        let s = sampler();
+        let a = s.plan(w, 1);
+        let b = s.plan(w, 2);
+        let a2 = s.plan(w, 1);
+        assert_eq!(a, a2);
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn weights_reconstruct_population() {
+        let suite = rodinia_suite(11);
+        let w = &suite[2];
+        let plan = sampler().plan(w, 1);
+        let total = plan.total_weight();
+        let n = w.num_invocations() as f64;
+        assert!(
+            (total - n).abs() / n < 1e-9,
+            "total weight {total} vs population {n}"
+        );
+    }
+}

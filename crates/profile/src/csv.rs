@@ -1,0 +1,136 @@
+//! Minimal CSV export/import for profile data.
+//!
+//! The paper's artifact ships profiles as CSVs; the `repro` harness writes
+//! compatible files to `results/`. No third-party CSV crate: the format is
+//! one header line plus numeric rows.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Serializes rows of `f64` to a CSV string with a header.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        let mut first = true;
+        for v in row {
+            if !first {
+                out.push(',');
+            }
+            write!(out, "{v}").expect("write to string cannot fail");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Error parsing a CSV document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Parses a CSV document produced by [`to_csv`]: returns the header and
+/// numeric rows.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on an empty document, ragged rows, or
+/// non-numeric cells.
+pub fn from_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<f64>>), ParseCsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or(ParseCsvError {
+        line: 1,
+        message: "empty document".to_string(),
+    })?;
+    let header: Vec<String> = header_line.split(',').map(str::to_string).collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Result<Vec<f64>, _> = line.split(',').map(f64::from_str).collect();
+        let row = cells.map_err(|e| ParseCsvError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        if row.len() != header.len() {
+            return Err(ParseCsvError {
+                line: i + 1,
+                message: format!("expected {} cells, got {}", header.len(), row.len()),
+            });
+        }
+        rows.push(row);
+    }
+    Ok((header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let header = ["a", "b"];
+        let rows = vec![vec![1.0, 2.5], vec![-3.0, 1e-9]];
+        let csv = to_csv(&header, &rows);
+        let (h, r) = from_csv(&csv).expect("valid csv");
+        assert_eq!(h, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(r, rows);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let csv = to_csv(&["x"], &[]);
+        let (h, r) = from_csv(&csv).expect("valid csv");
+        assert_eq!(h.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (_, r) = from_csv("a,b\n1,2\n\n3,4\n").expect("valid csv");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = from_csv("a,b\n1\n").expect_err("ragged");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let err = from_csv("a\nfoo\n").expect_err("non-numeric");
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(from_csv("").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn to_csv_checks_width() {
+        to_csv(&["a", "b"], &[vec![1.0]]);
+    }
+}

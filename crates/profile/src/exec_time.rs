@@ -1,0 +1,75 @@
+//! Nsight-Systems-style execution-time profiling — STEM's only input.
+
+use gpu_sim::{GpuConfig, HardwareRunner};
+use gpu_workload::Workload;
+
+/// Collects per-invocation execution times from a hardware run.
+///
+/// # Example
+///
+/// ```
+/// use gpu_profile::ExecTimeProfiler;
+/// use gpu_sim::GpuConfig;
+/// use gpu_workload::suites::rodinia_suite;
+///
+/// let w = &rodinia_suite(1)[0];
+/// let profiler = ExecTimeProfiler::new(GpuConfig::rtx2080(), 42);
+/// let times = profiler.profile(w);
+/// assert_eq!(times.len(), w.num_invocations());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecTimeProfiler {
+    hw: HardwareRunner,
+}
+
+impl ExecTimeProfiler {
+    /// Creates a profiler measuring on `config` (the paper profiles on an
+    /// RTX 2080).
+    pub fn new(config: GpuConfig, seed: u64) -> Self {
+        ExecTimeProfiler {
+            hw: HardwareRunner::new(config, seed),
+        }
+    }
+
+    /// Wraps an existing hardware runner (to control measurement noise).
+    pub fn from_runner(hw: HardwareRunner) -> Self {
+        ExecTimeProfiler { hw }
+    }
+
+    /// Measured execution time (cycles) of every invocation, stream order.
+    pub fn profile(&self, workload: &Workload) -> Vec<f64> {
+        self.hw.measure_all(workload)
+    }
+
+    /// The profiling machine's config.
+    pub fn config(&self) -> &GpuConfig {
+        self.hw.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workload::suites::rodinia_suite;
+
+    #[test]
+    fn profile_is_deterministic() {
+        let w = &rodinia_suite(1)[0];
+        let p = ExecTimeProfiler::new(GpuConfig::rtx2080(), 7);
+        assert_eq!(p.profile(w), p.profile(w));
+    }
+
+    #[test]
+    fn profile_length_matches() {
+        let w = &rodinia_suite(1)[1];
+        let p = ExecTimeProfiler::new(GpuConfig::rtx2080(), 7);
+        assert_eq!(p.profile(w).len(), w.num_invocations());
+    }
+
+    #[test]
+    fn times_positive() {
+        let w = &rodinia_suite(1)[2];
+        let p = ExecTimeProfiler::new(GpuConfig::rtx2080(), 7);
+        assert!(p.profile(w).iter().all(|&t| t > 0.0 && t.is_finite()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Persistent profile records: save and reload execution-time profiles.
+//!
+//! The paper's artifact distributes profiles as CSVs so sampling can run
+//! without re-profiling; this module gives the same workflow. An
+//! [`ExecTimeProfile`] pairs a workload identity with per-invocation times
+//! and round-trips through the [`crate::csv`] format, ready to feed
+//! `StemRootSampler::plan_from_times`.
+
+use crate::csv::{from_csv, to_csv, ParseCsvError};
+use serde::{Deserialize, Serialize};
+
+/// An execution-time profile of one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimeProfile {
+    workload: String,
+    times: Vec<f64>,
+}
+
+impl ExecTimeProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty or contains nonpositive/non-finite
+    /// entries.
+    pub fn new(workload: impl Into<String>, times: Vec<f64>) -> Self {
+        let workload = workload.into();
+        assert!(!times.is_empty(), "profile of {workload} has no samples");
+        for &t in &times {
+            assert!(
+                t.is_finite() && t > 0.0,
+                "profile of {workload} contains nonpositive time {t}"
+            );
+        }
+        ExecTimeProfile { workload, times }
+    }
+
+    /// Workload the profile belongs to.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Per-invocation times in stream order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of profiled invocations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the profile is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Serializes to the artifact CSV format (`index,time` rows).
+    pub fn to_csv_string(&self) -> String {
+        let rows: Vec<Vec<f64>> = self
+            .times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| vec![i as f64, t])
+            .collect();
+        format!("# workload: {}\n{}", self.workload, to_csv(&["index", "time"], &rows))
+    }
+
+    /// Parses a profile written by [`ExecTimeProfile::to_csv_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] on malformed documents.
+    pub fn from_csv_string(text: &str) -> Result<Self, ParseCsvError> {
+        let mut workload = "unknown".to_string();
+        let mut body = text;
+        if let Some(rest) = text.strip_prefix("# workload: ") {
+            if let Some((name, tail)) = rest.split_once('\n') {
+                workload = name.trim().to_string();
+                body = tail;
+            }
+        }
+        let (header, rows) = from_csv(body)?;
+        if header != ["index", "time"] {
+            return Err(ParseCsvError {
+                line: 1,
+                message: format!("unexpected header {header:?}"),
+            });
+        }
+        let mut times = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if row[1] <= 0.0 || !row[1].is_finite() {
+                return Err(ParseCsvError {
+                    line: i + 2,
+                    message: format!("nonpositive time {}", row[1]),
+                });
+            }
+            times.push(row[1]);
+        }
+        if times.is_empty() {
+            return Err(ParseCsvError {
+                line: 2,
+                message: "profile has no rows".to_string(),
+            });
+        }
+        Ok(ExecTimeProfile { workload, times })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = ExecTimeProfile::new("bert_infer", vec![1.5, 2.0, 99.25]);
+        let csv = p.to_csv_string();
+        let back = ExecTimeProfile::from_csv_string(&csv).expect("valid profile csv");
+        assert_eq!(p, back);
+        assert_eq!(back.workload(), "bert_infer");
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn missing_header_comment_defaults_workload() {
+        let p = ExecTimeProfile::from_csv_string("index,time\n0,5\n").expect("valid");
+        assert_eq!(p.workload(), "unknown");
+        assert_eq!(p.times(), &[5.0]);
+    }
+
+    #[test]
+    fn wrong_header_rejected() {
+        let err = ExecTimeProfile::from_csv_string("a,b\n0,5\n").expect_err("wrong header");
+        assert!(err.message.contains("unexpected header"));
+    }
+
+    #[test]
+    fn nonpositive_time_rejected() {
+        let err =
+            ExecTimeProfile::from_csv_string("index,time\n0,0\n").expect_err("bad time");
+        assert!(err.message.contains("nonpositive"));
+    }
+
+    #[test]
+    fn empty_rows_rejected() {
+        assert!(ExecTimeProfile::from_csv_string("index,time\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no samples")]
+    fn empty_construction_rejected() {
+        ExecTimeProfile::new("x", vec![]);
+    }
+}

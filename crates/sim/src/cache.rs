@@ -1,0 +1,139 @@
+//! Capacity-based cache hit-rate model.
+//!
+//! A kernel-level model does not track individual lines; instead the hit
+//! rate follows the classical capacity curve: of the traffic that *could*
+//! hit (everything beyond each byte's cold first touch), the fraction that
+//! actually hits grows with the ratio of effective cache capacity to the
+//! kernel's working set. Contexts modulate the effective capacity through
+//! their `locality_boost` (producer-consumer L2 residency boosts it above
+//! 1, random embedding gathers push it far below 1).
+
+/// Hit rate of a cache level.
+///
+/// * `working_set` — bytes the kernel touches (per partition sharing the
+///   cache: per SM for L1, whole GPU for L2).
+/// * `capacity` — physical capacity in bytes.
+/// * `locality_boost` — context multiplier on effective capacity.
+/// * `reuse_factor` — average touches per byte (>= 1); the cold first touch
+///   can never hit, bounding the hit rate by `1 - 1/reuse`.
+///
+/// Returns a value in `[0, 1 - 1/reuse]`.
+///
+/// # Panics
+///
+/// Panics if `working_set <= 0`, `capacity <= 0`, `locality_boost <= 0`, or
+/// `reuse_factor < 1`.
+pub fn hit_rate(working_set: f64, capacity: f64, locality_boost: f64, reuse_factor: f64) -> f64 {
+    assert!(working_set > 0.0, "working set must be positive");
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(locality_boost > 0.0, "locality boost must be positive");
+    assert!(reuse_factor >= 1.0, "reuse factor must be >= 1");
+    // Intra-kernel reuse: touches beyond a byte's first can hit if the line
+    // is still resident; the capacity curve is ~r for r << 1 and saturates
+    // at 1 for r >> 1.
+    let reuse_max = 1.0 - 1.0 / reuse_factor;
+    let ratio = capacity * locality_boost / working_set;
+    let coverage = (ratio / (ratio + 1.0) * 2.0).min(1.0);
+    let intra = reuse_max * coverage;
+    // Inter-kernel residency (locality_boost > 1): a producer kernel left
+    // part of the working set in the cache, so even first touches hit — but
+    // only for the slice that physically fits.
+    let warm_frac = if locality_boost > 1.0 {
+        1.0 - 1.0 / locality_boost
+    } else {
+        0.0
+    };
+    let warm = (1.0 - reuse_max) * warm_frac * (capacity / working_set).min(1.0);
+    (intra + warm).min(0.999)
+}
+
+/// Miss traffic in bytes after a cache level: total demand minus hits.
+/// Cold first touches are already accounted for inside [`hit_rate`] (its
+/// `1 - 1/reuse` bound keeps one pass per byte missing unless inter-kernel
+/// residency covers it).
+pub fn miss_bytes(demand: f64, hit: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&hit), "hit rate must be in [0, 1]");
+    assert!(demand >= 0.0, "demand must be nonnegative");
+    demand * (1.0 - hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_working_set_hits_near_max() {
+        let h = hit_rate(1024.0, 4.0 * (1 << 20) as f64, 1.0, 8.0);
+        assert!((h - (1.0 - 1.0 / 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_working_set_misses() {
+        let h = hit_rate(64.0 * (1 << 30) as f64, 4.0 * (1 << 20) as f64, 1.0, 8.0);
+        assert!(h < 0.001, "h = {h}");
+    }
+
+    #[test]
+    fn no_reuse_means_no_hits() {
+        let h = hit_rate(1024.0, (1u64 << 30) as f64, 1.0, 1.0);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn warm_residency_lets_first_touches_hit() {
+        // Streaming kernel (reuse 1) whose input was produced by the
+        // previous kernel: locality_boost > 1 yields hits bounded by the
+        // slice of the working set that fits in the cache.
+        let ws = 32.0 * (1 << 20) as f64;
+        let cap = (8u64 << 20) as f64;
+        let h = hit_rate(ws, cap, 4.0, 1.0);
+        assert!(h > 0.1 && h <= 0.25, "h = {h}");
+        // Without residency there is nothing to hit.
+        assert_eq!(hit_rate(ws, cap, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_never_reaches_one() {
+        let h = hit_rate(1.0, 1e18, 100.0, 1e9);
+        assert!(h < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let mut last = 0.0;
+        for cap_mb in [1u64, 2, 4, 8, 16, 32] {
+            let h = hit_rate(32.0 * (1 << 20) as f64, (cap_mb << 20) as f64, 1.0, 4.0);
+            assert!(h >= last);
+            last = h;
+        }
+    }
+
+    #[test]
+    fn locality_boost_raises_hits() {
+        let ws = 32.0 * (1 << 20) as f64;
+        let cap = (4u64 << 20) as f64;
+        let low = hit_rate(ws, cap, 0.3, 4.0);
+        let high = hit_rate(ws, cap, 3.0, 4.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn miss_bytes_tracks_hit_rate() {
+        let m = miss_bytes(1000.0, 0.25);
+        assert!((m - 750.0).abs() < 1e-9);
+        assert_eq!(miss_bytes(1000.0, 0.0), 1000.0);
+        assert_eq!(miss_bytes(1000.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate must be in")]
+    fn bad_hit_rate_rejected() {
+        miss_bytes(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reuse factor must be >= 1")]
+    fn reuse_below_one_rejected() {
+        hit_rate(1.0, 1.0, 1.0, 0.5);
+    }
+}

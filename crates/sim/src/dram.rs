@@ -1,0 +1,51 @@
+//! DRAM bandwidth roofline.
+
+use crate::config::GpuConfig;
+
+/// Cycles to move `bytes` through DRAM at the config's bandwidth, plus a
+/// latency exposure term for the first access of each wave (latency is
+/// otherwise hidden by multithreading).
+///
+/// # Panics
+///
+/// Panics if `bytes` is negative.
+pub fn dram_cycles(bytes: f64, waves: u64, config: &GpuConfig) -> f64 {
+    assert!(bytes >= 0.0, "bytes must be nonnegative");
+    let bandwidth_term = bytes / config.dram_bytes_per_cycle();
+    let latency_term = config.dram_latency_cycles * waves as f64;
+    bandwidth_term + latency_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_pays_only_latency() {
+        let c = GpuConfig::rtx2080();
+        let cycles = dram_cycles(0.0, 2, &c);
+        assert!((cycles - 2.0 * c.dram_latency_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let c = GpuConfig::rtx2080();
+        let one = dram_cycles(1e9, 1, &c);
+        let two = dram_cycles(2e9, 1, &c);
+        let lat = c.dram_latency_cycles;
+        assert!(((two - lat) / (one - lat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_memory_fewer_cycles() {
+        let h100 = GpuConfig::h100();
+        let h200 = GpuConfig::h200();
+        assert!(dram_cycles(1e9, 1, &h200) < dram_cycles(1e9, 1, &h100));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_bytes_rejected() {
+        dram_cycles(-1.0, 1, &GpuConfig::rtx2080());
+    }
+}

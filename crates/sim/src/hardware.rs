@@ -1,0 +1,154 @@
+//! "Real hardware" mode: what a kernel profiler measures.
+//!
+//! The paper profiles on physical GPUs (Nsight Systems on an RTX 2080) and
+//! simulates on MacSim. We reproduce that separation: a [`HardwareRunner`]
+//! wraps a high-fidelity config and adds per-measurement noise on top of
+//! the invocation's intrinsic jitter — timer quantization, driver
+//! scheduling, thermal state — so that profiled times are *close to but not
+//! identical to* what any simulator config produces.
+
+use crate::config::GpuConfig;
+use crate::simulator::Simulator;
+use gpu_workload::Workload;
+
+/// Measures kernel execution times the way a lightweight profiler would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareRunner {
+    sim: Simulator,
+    /// CoV of multiplicative measurement noise.
+    measurement_noise: f64,
+    /// Seed decorrelating measurement noise from workload jitter.
+    seed: u64,
+}
+
+impl HardwareRunner {
+    /// Default measurement-noise CoV (~1%, typical of kernel-level timers).
+    pub const DEFAULT_NOISE: f64 = 0.01;
+
+    /// Creates a hardware runner on `config`.
+    pub fn new(config: GpuConfig, seed: u64) -> Self {
+        HardwareRunner {
+            sim: Simulator::new(config),
+            measurement_noise: Self::DEFAULT_NOISE,
+            seed,
+        }
+    }
+
+    /// Overrides the measurement-noise CoV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cov` is negative or above 1.
+    pub fn with_noise(mut self, cov: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cov), "noise CoV must be in [0, 1]");
+        self.measurement_noise = cov;
+        self
+    }
+
+    /// The underlying config.
+    pub fn config(&self) -> &GpuConfig {
+        self.sim.config()
+    }
+
+    /// Measures one invocation (cycles, with measurement noise).
+    pub fn measure_one(&self, workload: &Workload, index: usize) -> f64 {
+        let inv = &workload.invocations()[index];
+        let true_cycles = self.sim.cycles(workload, inv);
+        let z = noise_z(self.seed, index as u64);
+        let s = self.measurement_noise;
+        true_cycles * (s * z - s * s / 2.0).exp()
+    }
+
+    /// Measures every invocation — the execution-time profile STEM consumes
+    /// (an Nsight-Systems-style trace).
+    pub fn measure_all(&self, workload: &Workload) -> Vec<f64> {
+        (0..workload.num_invocations())
+            .map(|i| self.measure_one(workload, i))
+            .collect()
+    }
+}
+
+/// Deterministic standard-normal draw from `(seed, index)` via splitmix64 +
+/// Box–Muller.
+fn noise_z(seed: u64, index: u64) -> f64 {
+    let u1 = splitmix_unit(seed ^ index.wrapping_mul(0x9e3779b97f4a7c15));
+    let u2 = splitmix_unit(seed.wrapping_add(1) ^ index.wrapping_mul(0xbf58476d1ce4e5b9));
+    let u1 = u1.max(f64::MIN_POSITIVE);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn splitmix_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workload::suites::rodinia_suite;
+
+    #[test]
+    fn measurement_close_to_truth() {
+        let w = &rodinia_suite(2)[0];
+        let hw = HardwareRunner::new(GpuConfig::rtx2080(), 99);
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let truth = sim.run_full(w);
+        let measured = hw.measure_all(w);
+        for (m, t) in measured.iter().zip(&truth.per_invocation) {
+            let rel = (m - t).abs() / t;
+            assert!(rel < 0.08, "measurement deviates {rel}");
+        }
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let w = &rodinia_suite(2)[0];
+        let hw = HardwareRunner::new(GpuConfig::rtx2080(), 99);
+        assert_eq!(hw.measure_all(w), hw.measure_all(w));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = &rodinia_suite(2)[0];
+        let a = HardwareRunner::new(GpuConfig::rtx2080(), 1).measure_one(w, 0);
+        let b = HardwareRunner::new(GpuConfig::rtx2080(), 2).measure_one(w, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_noise_equals_simulation() {
+        let w = &rodinia_suite(2)[1];
+        let hw = HardwareRunner::new(GpuConfig::rtx2080(), 1).with_noise(0.0);
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let truth = sim.run_full(w);
+        let measured = hw.measure_all(w);
+        for (m, t) in measured.iter().zip(&truth.per_invocation) {
+            assert_eq!(m, t);
+        }
+    }
+
+    #[test]
+    fn noise_z_is_roughly_standard_normal() {
+        let n = 50_000u64;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let z = noise_z(7, i);
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise CoV must be in")]
+    fn bad_noise_rejected() {
+        HardwareRunner::new(GpuConfig::rtx2080(), 1).with_noise(2.0);
+    }
+}

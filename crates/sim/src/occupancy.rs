@@ -1,0 +1,133 @@
+//! SM occupancy: how many CTAs of a kernel fit on one SM, and how many
+//! waves the launch takes.
+
+use crate::config::GpuConfig;
+use gpu_workload::KernelClass;
+
+/// Occupancy analysis of one kernel on one config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident CTAs per SM (>= 1; a kernel too large for the SM still runs
+    /// one CTA at a time, as real hardware serializes).
+    pub ctas_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's warp slots occupied, in `(0, 1]`.
+    pub occupancy: f64,
+    /// Number of waves needed to run the whole grid.
+    pub waves: u64,
+}
+
+/// Computes occupancy for `kernel` on `config`.
+///
+/// The limiters are the classical four: max CTAs per SM, max threads per
+/// SM, register file, and shared memory.
+pub fn occupancy(kernel: &KernelClass, config: &GpuConfig) -> Occupancy {
+    let by_ctas = config.max_ctas_per_sm;
+    let by_threads = config.max_threads_per_sm / kernel.block_dim.max(1);
+    let regs_per_cta = kernel.regs_per_thread.max(1) * kernel.block_dim;
+    let by_regs = config.regs_per_sm / regs_per_cta.max(1);
+    let by_shared = config
+        .shared_mem_per_sm
+        .checked_div(kernel.shared_mem_per_cta)
+        .unwrap_or(u32::MAX);
+    let ctas_per_sm = by_ctas.min(by_threads).min(by_regs).min(by_shared).max(1);
+    let warps_per_sm = ctas_per_sm * kernel.warps_per_cta();
+    let max_warps = (config.max_threads_per_sm / 32).max(1);
+    let occupancy = (warps_per_sm as f64 / max_warps as f64).min(1.0);
+    let slots = ctas_per_sm as u64 * config.num_sms as u64;
+    let waves = (kernel.grid_dim as u64).div_ceil(slots);
+    Occupancy {
+        ctas_per_sm,
+        warps_per_sm,
+        occupancy,
+        waves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workload::kernel::KernelClassBuilder;
+
+    fn config() -> GpuConfig {
+        GpuConfig::rtx2080()
+    }
+
+    #[test]
+    fn small_kernel_fits_many_ctas() {
+        let k = KernelClassBuilder::new("small")
+            .geometry(46, 64)
+            .resources(16, 0)
+            .build();
+        let o = occupancy(&k, &config());
+        assert!(o.ctas_per_sm >= 8);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn register_limited() {
+        let k = KernelClassBuilder::new("fat")
+            .geometry(1000, 1024)
+            .resources(64, 0)
+            .build();
+        let o = occupancy(&k, &config());
+        // 64 regs * 1024 threads = 65536 = whole register file -> 1 CTA.
+        assert_eq!(o.ctas_per_sm, 1);
+    }
+
+    #[test]
+    fn shared_memory_limited() {
+        let k = KernelClassBuilder::new("shm")
+            .geometry(100, 128)
+            .resources(16, 32 * 1024)
+            .build();
+        let o = occupancy(&k, &config());
+        assert_eq!(o.ctas_per_sm, 2); // 64KB SM / 32KB per CTA
+    }
+
+    #[test]
+    fn oversized_cta_still_runs() {
+        let k = KernelClassBuilder::new("huge")
+            .geometry(10, 1024)
+            .resources(255, 64 * 1024)
+            .build();
+        let o = occupancy(&k, &config());
+        assert_eq!(o.ctas_per_sm, 1);
+        assert!(o.occupancy > 0.0);
+    }
+
+    #[test]
+    fn waves_round_up() {
+        let k = KernelClassBuilder::new("wavey")
+            .geometry(100, 1024)
+            .resources(32, 0)
+            .build();
+        let o = occupancy(&k, &config());
+        // block 1024 -> 1 CTA/SM by threads; 46 SMs -> ceil(100/46) = 3.
+        assert_eq!(o.ctas_per_sm, 1);
+        assert_eq!(o.waves, 3);
+    }
+
+    #[test]
+    fn more_sms_fewer_waves() {
+        let k = KernelClassBuilder::new("k")
+            .geometry(4096, 256)
+            .resources(32, 8 * 1024)
+            .build();
+        let base = occupancy(&k, &GpuConfig::macsim_baseline());
+        let big = occupancy(
+            &k,
+            &GpuConfig::macsim_baseline().with_transform(crate::DseTransform::SmScale(2.0)),
+        );
+        assert!(big.waves <= base.waves);
+        assert!(big.waves >= base.waves / 2);
+    }
+
+    #[test]
+    fn occupancy_in_unit_interval() {
+        let k = KernelClassBuilder::new("k").geometry(64, 96).build();
+        let o = occupancy(&k, &config());
+        assert!(o.occupancy > 0.0 && o.occupancy <= 1.0);
+    }
+}

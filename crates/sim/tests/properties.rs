@@ -1,0 +1,141 @@
+//! Property-based tests for the GPU timing model.
+
+use gpu_sim::exec::{time_kernel, SimOptions};
+use gpu_sim::{DseTransform, GpuConfig};
+use gpu_workload::kernel::{InstructionMix, KernelClassBuilder};
+use gpu_workload::{KernelClass, RuntimeContext};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = KernelClass> {
+    (
+        1u32..2048,          // grid
+        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]), // block
+        16u32..128,          // regs
+        0u32..48,            // shared KiB
+        100u64..100_000,     // instr per thread
+        0usize..5,           // mix preset
+        20u64..34,           // footprint log2 (1 MiB .. 16 GiB)
+        1.0f64..32.0,        // reuse
+    )
+        .prop_map(|(grid, block, regs, shared_kib, instr, mix, fp_log2, reuse)| {
+            let mix = match mix {
+                0 => InstructionMix::compute_bound(),
+                1 => InstructionMix::tensor_core(),
+                2 => InstructionMix::memory_bound(),
+                3 => InstructionMix::streaming(),
+                _ => InstructionMix::irregular(),
+            };
+            KernelClassBuilder::new("prop")
+                .geometry(grid, block)
+                .resources(regs, shared_kib * 1024)
+                .instructions(instr)
+                .mix(mix)
+                .memory(1u64 << fp_log2, reuse)
+                .build()
+        })
+}
+
+fn ctx_strategy() -> impl Strategy<Value = RuntimeContext> {
+    (0.1f64..8.0, 0.2f64..4.0, 0.1f64..6.0, 0.0f64..0.5).prop_map(
+        |(work, footprint, locality, jitter)| {
+            RuntimeContext::neutral()
+                .with_work(work)
+                .with_footprint(footprint)
+                .with_locality(locality)
+                .with_jitter(jitter)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every timing output is finite, positive and internally consistent.
+    #[test]
+    fn timing_outputs_well_formed(
+        kernel in kernel_strategy(),
+        ctx in ctx_strategy(),
+        z in -4.0f64..4.0,
+    ) {
+        for config in [GpuConfig::rtx2080(), GpuConfig::h100(), GpuConfig::macsim_baseline()] {
+            let t = time_kernel(&kernel, &ctx, 1.0, z, &config, SimOptions::default());
+            prop_assert!(t.cycles.is_finite() && t.cycles > 0.0);
+            prop_assert!(t.compute_cycles >= 0.0 && t.memory_cycles >= 0.0);
+            prop_assert!(t.deterministic_cycles >= config.launch_overhead_cycles);
+            prop_assert!((0.0..=1.0).contains(&t.memory_boundedness));
+            prop_assert!((0.0..=1.0).contains(&t.l1_hit));
+            prop_assert!((0.0..=1.0).contains(&t.l2_hit));
+            prop_assert!(t.dram_bytes >= 0.0);
+            prop_assert!(t.occupancy.occupancy > 0.0 && t.occupancy.occupancy <= 1.0);
+        }
+    }
+
+    /// More work never makes the deterministic time shorter.
+    #[test]
+    fn monotone_in_work(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+        let cfg = GpuConfig::rtx2080();
+        let t1 = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
+        let t2 = time_kernel(&kernel, &ctx, 2.0, 0.0, &cfg, SimOptions::default());
+        prop_assert!(t2.deterministic_cycles >= t1.deterministic_cycles);
+    }
+
+    /// A zero-jitter context has no randomness: z is irrelevant.
+    #[test]
+    fn zero_jitter_ignores_z(kernel in kernel_strategy(), z in -4.0f64..4.0) {
+        let cfg = GpuConfig::rtx2080();
+        let ctx = RuntimeContext::neutral().with_jitter(0.0);
+        let a = time_kernel(&kernel, &ctx, 1.0, z, &cfg, SimOptions::default());
+        let b = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
+        prop_assert!((a.cycles - b.cycles).abs() < 1e-9 * b.cycles.max(1.0));
+    }
+
+    /// Doubling SMs never slows a kernel down (deterministic part).
+    #[test]
+    fn more_sms_never_slower(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+        let base = GpuConfig::macsim_baseline();
+        let big = base.with_transform(DseTransform::SmScale(2.0));
+        let t_base = time_kernel(&kernel, &ctx, 1.0, 0.0, &base, SimOptions::default());
+        let t_big = time_kernel(&kernel, &ctx, 1.0, 0.0, &big, SimOptions::default());
+        prop_assert!(
+            t_big.deterministic_cycles <= t_base.deterministic_cycles * (1.0 + 1e-9),
+            "{} vs {}", t_big.deterministic_cycles, t_base.deterministic_cycles
+        );
+    }
+
+    /// Growing the caches never increases DRAM traffic.
+    #[test]
+    fn bigger_cache_never_more_dram(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+        let base = GpuConfig::macsim_baseline();
+        let big = base.with_transform(DseTransform::CacheScale(2.0));
+        let t_base = time_kernel(&kernel, &ctx, 1.0, 0.0, &base, SimOptions::default());
+        let t_big = time_kernel(&kernel, &ctx, 1.0, 0.0, &big, SimOptions::default());
+        prop_assert!(t_big.dram_bytes <= t_base.dram_bytes * (1.0 + 1e-9));
+    }
+
+    /// The flush mode never makes a kernel faster.
+    #[test]
+    fn flush_never_faster(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+        let cfg = GpuConfig::rtx2080();
+        let normal = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
+        let flushed = time_kernel(
+            &kernel,
+            &ctx,
+            1.0,
+            0.0,
+            &cfg,
+            SimOptions { flush_l2_between_kernels: true, ..SimOptions::default() },
+        );
+        prop_assert!(flushed.deterministic_cycles >= normal.deterministic_cycles * (1.0 - 1e-9));
+    }
+
+    /// Better locality never increases the deterministic time.
+    #[test]
+    fn locality_never_hurts(kernel in kernel_strategy(), boost in 1.0f64..6.0) {
+        let cfg = GpuConfig::rtx2080();
+        let cold = RuntimeContext::neutral().with_locality(1.0);
+        let warm = RuntimeContext::neutral().with_locality(boost);
+        let t_cold = time_kernel(&kernel, &cold, 1.0, 0.0, &cfg, SimOptions::default());
+        let t_warm = time_kernel(&kernel, &warm, 1.0, 0.0, &cfg, SimOptions::default());
+        prop_assert!(t_warm.deterministic_cycles <= t_cold.deterministic_cycles * (1.0 + 1e-9));
+    }
+}

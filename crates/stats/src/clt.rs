@@ -1,0 +1,163 @@
+//! The single-cluster CLT error model (Sec. 3.2 of the paper).
+//!
+//! For a set `C` of invocations of one kernel with execution-time mean `mu`
+//! and standard deviation `sigma`, the sample mean of `m` i.i.d. samples is
+//! normally distributed (CLT), so the relative sampling error at confidence
+//! `1 - alpha` is
+//!
+//! ```text
+//! e = z_{1-alpha/2} * sigma / (mu * sqrt(m))        (Eq. 2)
+//! ```
+//!
+//! and the minimal sample size guaranteeing `e <= epsilon` is
+//!
+//! ```text
+//! m = ceil( (z_{1-alpha/2} / epsilon * sigma / mu)^2 )   (Eq. 3)
+//! ```
+
+/// Theoretical relative sampling error of the estimate `|C| * sample_mean`
+/// (Eq. 2), as a fraction (not a percentage).
+///
+/// Returns `0.0` when `sigma == 0` (a perfectly stable kernel needs a single
+/// sample and carries no sampling error).
+///
+/// # Panics
+///
+/// Panics if `mu <= 0`, `m == 0`, or `sigma < 0`.
+///
+/// # Example
+///
+/// ```
+/// use stem_stats::clt::sampling_error;
+/// // CoV 0.5, 100 samples, z = 1.96  ->  e = 1.96 * 0.5 / 10 = 0.098
+/// let e = sampling_error(10.0, 5.0, 100, 1.96);
+/// assert!((e - 0.098).abs() < 1e-12);
+/// ```
+pub fn sampling_error(mu: f64, sigma: f64, m: u64, z: f64) -> f64 {
+    assert!(mu > 0.0, "mean execution time must be positive, got {mu}");
+    assert!(sigma >= 0.0, "standard deviation must be nonnegative");
+    assert!(m > 0, "sample size must be positive");
+    z * sigma / (mu * (m as f64).sqrt())
+}
+
+/// Minimal sample size ensuring the sampling error stays within `epsilon`
+/// (Eq. 3). Always returns at least 1: even a zero-variance kernel must be
+/// simulated once to learn its execution time.
+///
+/// # Panics
+///
+/// Panics if `mu <= 0`, `sigma < 0`, `epsilon <= 0`, or `z <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use stem_stats::clt::sample_size;
+/// // Narrow kernel (CoV 0.05): a handful of samples suffice.
+/// assert_eq!(sample_size(100.0, 5.0, 0.05, 1.96), 4);
+/// // Wide kernel (CoV 1.0): thousands.
+/// assert_eq!(sample_size(100.0, 100.0, 0.05, 1.96), 1537);
+/// ```
+pub fn sample_size(mu: f64, sigma: f64, epsilon: f64, z: f64) -> u64 {
+    assert!(mu > 0.0, "mean execution time must be positive, got {mu}");
+    assert!(sigma >= 0.0, "standard deviation must be nonnegative");
+    assert!(epsilon > 0.0, "error bound must be positive, got {epsilon}");
+    assert!(z > 0.0, "z-score must be positive, got {z}");
+    let m = (z / epsilon * sigma / mu).powi(2).ceil();
+    (m as u64).max(1)
+}
+
+/// Sample size computed directly from a coefficient of variation.
+///
+/// Identical to [`sample_size`] with `sigma/mu = cov`; convenient when only
+/// profiler-reported CoV is available (Sec. 3.2: CoV is used as a proxy for
+/// the unobtainable true `sigma`, `mu`).
+pub fn sample_size_from_cov(cov: f64, epsilon: f64, z: f64) -> u64 {
+    assert!(cov >= 0.0, "CoV must be nonnegative, got {cov}");
+    assert!(epsilon > 0.0, "error bound must be positive, got {epsilon}");
+    assert!(z > 0.0, "z-score must be positive, got {z}");
+    let m = (z / epsilon * cov).powi(2).ceil();
+    (m as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_shrinks_with_sqrt_m() {
+        let e1 = sampling_error(10.0, 4.0, 25, 1.96);
+        let e2 = sampling_error(10.0, 4.0, 100, 1.96);
+        assert!((e1 / e2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sigma_zero_error() {
+        assert_eq!(sampling_error(10.0, 0.0, 1, 1.96), 0.0);
+        assert_eq!(sample_size(10.0, 0.0, 0.05, 1.96), 1);
+    }
+
+    #[test]
+    fn paper_rule_of_thumb_magnitudes() {
+        // CoV = 0.4, eps = 5%, z = 1.96: m = ceil((1.96*0.4/0.05)^2) = ceil(245.86) = 246.
+        assert_eq!(sample_size(1000.0, 400.0, 0.05, 1.96), 246);
+        // Same via CoV entry point.
+        assert_eq!(sample_size_from_cov(0.4, 0.05, 1.96), 246);
+    }
+
+    #[test]
+    fn sample_size_monotone_in_cov() {
+        let mut last = 0;
+        for cov10 in 1..=20 {
+            let cov = cov10 as f64 / 10.0;
+            let m = sample_size_from_cov(cov, 0.05, 1.96);
+            assert!(m >= last, "m must grow with CoV");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn sample_size_monotone_in_epsilon() {
+        let m_tight = sample_size_from_cov(0.5, 0.01, 1.96);
+        let m_loose = sample_size_from_cov(0.5, 0.25, 1.96);
+        assert!(m_tight > m_loose);
+    }
+
+    #[test]
+    fn sample_size_achieves_bound() {
+        // With m from Eq. 3 the error from Eq. 2 is within epsilon.
+        for &(mu, sigma) in &[(10.0, 1.0), (5.0, 6.0), (1000.0, 10.0), (3.0, 3.0)] {
+            for &eps in &[0.01, 0.03, 0.05, 0.1, 0.25] {
+                let m = sample_size(mu, sigma, eps, 1.96);
+                let e = sampling_error(mu, sigma, m, 1.96);
+                assert!(
+                    e <= eps + 1e-12,
+                    "bound violated: mu={mu} sigma={sigma} eps={eps} m={m} e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_size_is_minimal() {
+        // m - 1 samples would violate the bound (whenever m > 1).
+        for &(mu, sigma, eps) in &[(10.0, 5.0, 0.05), (10.0, 2.0, 0.03), (7.0, 7.0, 0.1)] {
+            let m = sample_size(mu, sigma, eps, 1.96);
+            if m > 1 {
+                let e = sampling_error(mu, sigma, m - 1, 1.96);
+                assert!(e > eps, "m not minimal: mu={mu} sigma={sigma} eps={eps} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean execution time must be positive")]
+    fn rejects_nonpositive_mean() {
+        sample_size(0.0, 1.0, 0.05, 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn rejects_nonpositive_epsilon() {
+        sample_size(1.0, 1.0, 0.0, 1.96);
+    }
+}

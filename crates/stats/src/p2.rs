@@ -1,0 +1,272 @@
+//! The P² (P-square) streaming quantile estimator (Jain & Chlamtac, 1985).
+//!
+//! Profiles of HuggingFace-scale workloads hold tens of millions of
+//! execution times; exact quantiles require keeping (and sorting) all of
+//! them. P² maintains a chosen quantile with five markers in O(1) memory
+//! and O(1) per observation — the right tool for streaming profile
+//! diagnostics (median/IQR summaries in dashboards, Sieve-style spread
+//! checks) when the full time vector is not retained.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming estimator of one quantile.
+///
+/// # Example
+///
+/// ```
+/// use stem_stats::p2::P2Quantile;
+///
+/// let mut median = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     median.push(i as f64);
+/// }
+/// let est = median.estimate().expect("enough samples");
+/// assert!((est - 501.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+    /// Initial buffer until five observations arrive.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "P2 requires finite observations");
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or `None` with fewer than five observations...
+    /// except that with 1–4 observations the exact small-sample quantile is
+    /// returned (nothing is streaming yet).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return Some(crate::quantile::quantile_sorted(&v, self.p));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::quantile;
+
+    /// Deterministic LCG stream.
+    fn stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let values = stream(50_000, 7);
+        let mut est = P2Quantile::new(0.5);
+        for &v in &values {
+            est.push(v);
+        }
+        let exact = quantile(&values, 0.5);
+        let e = est.estimate().expect("enough samples");
+        assert!((e - exact).abs() < 0.01, "p2 {e} vs exact {exact}");
+    }
+
+    #[test]
+    fn tail_quantile_of_skewed_stream() {
+        // Lognormal-ish skew: square the uniforms.
+        let values: Vec<f64> = stream(50_000, 13).iter().map(|v| v * v * 100.0).collect();
+        for p in [0.25, 0.75, 0.95] {
+            let mut est = P2Quantile::new(p);
+            for &v in &values {
+                est.push(v);
+            }
+            let exact = quantile(&values, p);
+            let e = est.estimate().expect("enough samples");
+            assert!(
+                (e - exact).abs() / exact.max(1e-9) < 0.05,
+                "p={p}: p2 {e} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.push(3.0);
+        assert_eq!(est.estimate(), Some(3.0));
+        est.push(1.0);
+        est.push(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut est = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            est.push(4.2);
+        }
+        assert!((est.estimate().expect("enough") - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_streams() {
+        for reverse in [false, true] {
+            let mut values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+            if reverse {
+                values.reverse();
+            }
+            let mut est = P2Quantile::new(0.5);
+            for &v in &values {
+                est.push(v);
+            }
+            let e = est.estimate().expect("enough");
+            assert!((e - 5000.0).abs() < 300.0, "reverse={reverse}: {e}");
+        }
+    }
+
+    #[test]
+    fn count_tracks_pushes() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..17 {
+            est.push(i as f64);
+        }
+        assert_eq!(est.count(), 17);
+        assert_eq!(est.quantile(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn bad_quantile_rejected() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite observations")]
+    fn nan_rejected() {
+        P2Quantile::new(0.5).push(f64::NAN);
+    }
+}

@@ -1,0 +1,97 @@
+//! Order-statistics helpers (quantiles, medians).
+
+/// Linear-interpolated quantile of a **sorted** slice (R-7 / NumPy default).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use stem_stats::quantile::quantile_sorted;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile_sorted(&v, 0.5), 2.5);
+/// assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+/// assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+/// ```
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Quantile of an unsorted slice (sorts a copy).
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `q` is outside `[0, 1]`, or values are NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    quantile_sorted(&v, q)
+}
+
+/// Median of an unsorted slice.
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.25), 2.5);
+        assert_eq!(quantile_sorted(&v, 0.75), 7.5);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile_sorted(&[5.0], 0.33), 5.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0, 2.0];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let x = quantile(&v, q);
+            assert!(x >= last);
+            last = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_rejected() {
+        quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Student's t distribution — small-sample confidence corrections.
+//!
+//! The CLT argument behind Eq. (2) assumes "sufficiently large" samples
+//! (the paper cites the m >= 30 rule of thumb, Sec. 3.2). ROOT's
+//! fine-grained clusters often end with single-digit sample sizes, where a
+//! normal-based interval is anticonservative. Substituting the t quantile
+//! with `m - 1` degrees of freedom for `z` restores correct coverage; the
+//! `stem-core` sampler exposes this as an opt-in correction.
+//!
+//! Implementation: cdf via the regularized incomplete beta function
+//! (continued fraction, Lentz's method), quantile via Newton iterations
+//! seeded with Hill's (1970) asymptotic expansion.
+
+use crate::normal;
+
+/// Probability density function of the t distribution with `df` degrees of
+/// freedom.
+///
+/// # Panics
+///
+/// Panics if `df <= 0`.
+pub fn pdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    let half = (df + 1.0) / 2.0;
+    let coeff = (ln_gamma(half) - ln_gamma(df / 2.0)).exp() / (df * std::f64::consts::PI).sqrt();
+    coeff * (1.0 + x * x / df).powf(-half)
+}
+
+/// Cumulative distribution function of the t distribution.
+///
+/// # Panics
+///
+/// Panics if `df <= 0`.
+pub fn cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    if x == 0.0 {
+        return 0.5;
+    }
+    let ib = reg_incomplete_beta(df / 2.0, 0.5, df / (df + x * x));
+    if x > 0.0 {
+        1.0 - 0.5 * ib
+    } else {
+        0.5 * ib
+    }
+}
+
+/// Quantile function of the t distribution.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `p` is not strictly inside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// // The classic two-sided 95% critical value with 4 dof is 2.776.
+/// let t = stem_stats::student_t::quantile(0.975, 4.0);
+/// assert!((t - 2.776).abs() < 0.01);
+/// ```
+pub fn quantile(p: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    // Hill's asymptotic start from the normal quantile.
+    let z = normal::quantile(p);
+    let g1 = (z.powi(3) + z) / 4.0;
+    let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
+    let g3 = (3.0 * z.powi(7) + 19.0 * z.powi(5) + 17.0 * z.powi(3) - 15.0 * z) / 384.0;
+    let mut x = z + g1 / df + g2 / (df * df) + g3 / (df * df * df);
+
+    // Newton refinement on the cdf.
+    for _ in 0..50 {
+        let f = cdf(x, df) - p;
+        let d = pdf(x, df);
+        if d <= f64::MIN_POSITIVE {
+            break;
+        }
+        let step = f / d;
+        x -= step;
+        if step.abs() < 1e-12 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+/// Two-sided critical value `t_{1-alpha/2, df}` for a confidence level —
+/// the t analogue of [`normal::z_for_confidence`].
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0, 1)` or `df <= 0`.
+pub fn t_for_confidence(confidence: f64, df: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    quantile(0.5 + confidence / 2.0, df)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction (Numerical Recipes' betacf, modified Lentz).
+fn reg_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..200 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_symmetric_and_heavier_tailed_than_normal() {
+        assert!((pdf(1.5, 5.0) - pdf(-1.5, 5.0)).abs() < 1e-14);
+        assert!(pdf(3.0, 3.0) > normal::pdf(3.0));
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // Standard t-table checks.
+        assert!((cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+        // P(T <= 2.015) with 5 dof = 0.95.
+        assert!((cdf(2.015, 5.0) - 0.95).abs() < 2e-4);
+        // P(T <= 1.372) with 10 dof = 0.90.
+        assert!((cdf(1.372, 10.0) - 0.90).abs() < 2e-4);
+        assert!((cdf(-2.015, 5.0) - 0.05).abs() < 2e-4);
+    }
+
+    #[test]
+    fn quantile_matches_t_tables() {
+        // (p, df, expected) from standard tables.
+        for &(p, df, expected) in &[
+            (0.975, 1.0, 12.706),
+            (0.975, 2.0, 4.303),
+            (0.975, 4.0, 2.776),
+            (0.975, 9.0, 2.262),
+            (0.975, 29.0, 2.045),
+            (0.95, 5.0, 2.015),
+            (0.99, 10.0, 2.764),
+        ] {
+            let t = quantile(p, df);
+            assert!(
+                (t - expected).abs() < 0.01,
+                "t({p}, {df}) = {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[1.0, 3.0, 8.0, 30.0, 120.0] {
+            for &p in &[0.05, 0.3, 0.6, 0.9, 0.99] {
+                let x = quantile(p, df);
+                assert!(
+                    (cdf(x, df) - p).abs() < 1e-9,
+                    "round trip failed at p={p}, df={df}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approaches_normal_for_large_df() {
+        let t = quantile(0.975, 1e6);
+        assert!((t - normal::quantile(0.975)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_exceeds_z_for_small_samples() {
+        for df in 1..30 {
+            assert!(
+                t_for_confidence(0.95, df as f64) > normal::z_for_confidence(0.95),
+                "t must be more conservative at df={df}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn zero_df_rejected() {
+        quantile(0.5, 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Incremental workload construction.
+//!
+//! The suite generators and downstream users build workloads through this
+//! builder: register kernel classes with their runtime contexts, then
+//! append invocations either one at a time or through a
+//! [`ContextSchedule`].
+
+use crate::context::{ContextSchedule, RuntimeContext};
+use crate::invocation::{Invocation, KernelId};
+use crate::kernel::KernelClass;
+use crate::trace::{SuiteKind, Workload};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builder for [`Workload`].
+///
+/// # Example
+///
+/// ```
+/// use gpu_workload::{WorkloadBuilder, RuntimeContext, ContextSchedule, SuiteKind};
+/// use gpu_workload::kernel::KernelClassBuilder;
+///
+/// let mut b = WorkloadBuilder::new("demo", SuiteKind::Custom, 42);
+/// let gemm = b.add_kernel(
+///     KernelClassBuilder::new("gemm").build(),
+///     vec![RuntimeContext::neutral(), RuntimeContext::neutral().with_work(2.0)],
+/// );
+/// b.schedule(gemm, &ContextSchedule::Weighted(vec![3.0, 1.0]), 100);
+/// let w = b.build();
+/// assert_eq!(w.num_invocations(), 100);
+/// ```
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    name: String,
+    suite: SuiteKind,
+    kernels: Vec<KernelClass>,
+    contexts: Vec<Vec<RuntimeContext>>,
+    invocations: Vec<Invocation>,
+    rng: StdRng,
+}
+
+impl WorkloadBuilder {
+    /// Starts an empty workload. All randomness (context draws, jitter
+    /// draws) is derived from `seed`, so builds are reproducible.
+    pub fn new(name: impl Into<String>, suite: SuiteKind, seed: u64) -> Self {
+        WorkloadBuilder {
+            name: name.into(),
+            suite,
+            kernels: Vec::new(),
+            contexts: Vec::new(),
+            invocations: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Registers a kernel class with its runtime contexts, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel or any context is invalid, or `contexts` is
+    /// empty.
+    pub fn add_kernel(&mut self, kernel: KernelClass, contexts: Vec<RuntimeContext>) -> KernelId {
+        kernel.validate();
+        assert!(
+            !contexts.is_empty(),
+            "kernel {} needs at least one context",
+            kernel.name
+        );
+        for c in &contexts {
+            c.validate();
+        }
+        let id = KernelId(self.kernels.len() as u32);
+        self.kernels.push(kernel);
+        self.contexts.push(contexts);
+        id
+    }
+
+    /// Appends a single invocation with an explicit context and extra work
+    /// multiplier; jitter is drawn from the builder's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `context` is out of range or `work_scale` is
+    /// not positive.
+    pub fn invoke(&mut self, kernel: KernelId, context: u16, work_scale: f32) {
+        assert!(
+            kernel.index() < self.kernels.len(),
+            "unknown kernel {kernel}"
+        );
+        assert!(
+            (context as usize) < self.contexts[kernel.index()].len(),
+            "kernel {kernel} has no context {context}"
+        );
+        let z = standard_normal(&mut self.rng) as f32;
+        self.invocations
+            .push(Invocation::with_work(kernel, context, work_scale, z));
+    }
+
+    /// Appends `count` invocations following a [`ContextSchedule`], all at
+    /// unit extra work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is unknown or the schedule is invalid for the
+    /// kernel's context count.
+    pub fn schedule(&mut self, kernel: KernelId, schedule: &ContextSchedule, count: usize) {
+        assert!(
+            kernel.index() < self.kernels.len(),
+            "unknown kernel {kernel}"
+        );
+        let num_contexts = self.contexts[kernel.index()].len();
+        schedule.validate(num_contexts);
+        match schedule {
+            ContextSchedule::Weighted(weights) => {
+                let total: f64 = weights.iter().sum();
+                for _ in 0..count {
+                    let mut target = self.rng.random::<f64>() * total;
+                    let mut chosen = weights.len() - 1;
+                    for (i, &w) in weights.iter().enumerate() {
+                        target -= w;
+                        if target <= 0.0 {
+                            chosen = i;
+                            break;
+                        }
+                    }
+                    self.invoke(kernel, chosen as u16, 1.0);
+                }
+            }
+            ContextSchedule::Cyclic => {
+                for i in 0..count {
+                    self.invoke(kernel, (i % num_contexts) as u16, 1.0);
+                }
+            }
+            ContextSchedule::Phased(phases) => {
+                let mut emitted = 0usize;
+                'outer: loop {
+                    for &(ctx, phase_count) in phases {
+                        for _ in 0..phase_count {
+                            if emitted == count {
+                                break 'outer;
+                            }
+                            self.invoke(kernel, ctx as u16, 1.0);
+                            emitted += 1;
+                        }
+                    }
+                    if emitted == count {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of invocations appended so far.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether no invocations have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Finalizes into a validated [`Workload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernels were registered.
+    pub fn build(self) -> Workload {
+        Workload::new(
+            self.name,
+            self.suite,
+            self.kernels,
+            self.contexts,
+            self.invocations,
+        )
+    }
+}
+
+/// Box–Muller standard normal draw.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelClassBuilder;
+
+    fn builder_with_kernel(contexts: usize) -> (WorkloadBuilder, KernelId) {
+        let mut b = WorkloadBuilder::new("t", SuiteKind::Custom, 1);
+        let ctxs = (0..contexts)
+            .map(|i| RuntimeContext::neutral().with_work(1.0 + i as f64))
+            .collect();
+        let id = b.add_kernel(KernelClassBuilder::new("k").build(), ctxs);
+        (b, id)
+    }
+
+    #[test]
+    fn cyclic_schedule_round_robins() {
+        let (mut b, id) = builder_with_kernel(3);
+        b.schedule(id, &ContextSchedule::Cyclic, 7);
+        let w = b.build();
+        let ctxs: Vec<u16> = w.invocations().iter().map(|i| i.context).collect();
+        assert_eq!(ctxs, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn phased_schedule_repeats_until_count() {
+        let (mut b, id) = builder_with_kernel(2);
+        b.schedule(id, &ContextSchedule::Phased(vec![(0, 2), (1, 1)]), 7);
+        let w = b.build();
+        let ctxs: Vec<u16> = w.invocations().iter().map(|i| i.context).collect();
+        assert_eq!(ctxs, vec![0, 0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_schedule_respects_weights() {
+        let (mut b, id) = builder_with_kernel(2);
+        b.schedule(id, &ContextSchedule::Weighted(vec![9.0, 1.0]), 5000);
+        let w = b.build();
+        let ones = w
+            .invocations()
+            .iter()
+            .filter(|i| i.context == 1)
+            .count();
+        let frac = ones as f64 / 5000.0;
+        assert!((frac - 0.1).abs() < 0.03, "observed fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = || {
+            let (mut b, id) = builder_with_kernel(2);
+            b.schedule(id, &ContextSchedule::Weighted(vec![1.0, 1.0]), 50);
+            b.build()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn noise_z_is_standard_normal_ish() {
+        let (mut b, id) = builder_with_kernel(1);
+        b.schedule(id, &ContextSchedule::Cyclic, 20_000);
+        let w = b.build();
+        let s: stem_stats_like::Moments = w
+            .invocations()
+            .iter()
+            .map(|i| i.noise_z as f64)
+            .collect();
+        assert!(s.mean.abs() < 0.03, "mean {}", s.mean);
+        assert!((s.var - 1.0).abs() < 0.05, "var {}", s.var);
+    }
+
+    /// Minimal local moments helper to avoid a dev-dependency cycle.
+    mod stem_stats_like {
+        pub struct Moments {
+            pub mean: f64,
+            pub var: f64,
+        }
+        impl FromIterator<f64> for Moments {
+            fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+                let v: Vec<f64> = iter.into_iter().collect();
+                let n = v.len() as f64;
+                let mean = v.iter().sum::<f64>() / n;
+                let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                Moments { mean, var }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn invoke_unknown_kernel() {
+        let (mut b, _) = builder_with_kernel(1);
+        b.invoke(KernelId(9), 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no context")]
+    fn invoke_unknown_context() {
+        let (mut b, id) = builder_with_kernel(1);
+        b.invoke(id, 3, 1.0);
+    }
+
+    #[test]
+    fn len_tracks_invocations() {
+        let (mut b, id) = builder_with_kernel(1);
+        assert!(b.is_empty());
+        b.invoke(id, 0, 1.0);
+        assert_eq!(b.len(), 1);
+    }
+}

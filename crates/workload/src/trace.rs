@@ -1,0 +1,275 @@
+//! The workload container: a kernel table, per-kernel context tables, and
+//! the invocation stream.
+
+use crate::context::RuntimeContext;
+use crate::invocation::{Invocation, KernelId};
+use crate::kernel::KernelClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which benchmark suite a workload belongs to (drives evaluation
+/// aggregation and default sampling rates for the Random baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteKind {
+    /// Small irregular GPGPU/HPC workloads (Rodinia 3.1).
+    Rodinia,
+    /// State-of-the-art ML training/inference (CASIO).
+    Casio,
+    /// Large-scale LLM/ML serving (HuggingFace models).
+    Huggingface,
+    /// Hand-built workloads.
+    Custom,
+}
+
+impl std::fmt::Display for SuiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SuiteKind::Rodinia => "rodinia",
+            SuiteKind::Casio => "casio",
+            SuiteKind::Huggingface => "huggingface",
+            SuiteKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete GPU workload as seen by a kernel-level sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    suite: SuiteKind,
+    kernels: Vec<KernelClass>,
+    /// `contexts[k]` are the runtime contexts of kernel `k`.
+    contexts: Vec<Vec<RuntimeContext>>,
+    invocations: Vec<Invocation>,
+}
+
+impl Workload {
+    /// Assembles and validates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tables are inconsistent: no kernels, context table length
+    /// mismatch, kernels without contexts, invocations referencing
+    /// out-of-range kernels/contexts, or invalid component values.
+    pub fn new(
+        name: impl Into<String>,
+        suite: SuiteKind,
+        kernels: Vec<KernelClass>,
+        contexts: Vec<Vec<RuntimeContext>>,
+        invocations: Vec<Invocation>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!kernels.is_empty(), "workload {name} has no kernels");
+        assert_eq!(
+            kernels.len(),
+            contexts.len(),
+            "workload {name}: one context table per kernel required"
+        );
+        for k in &kernels {
+            k.validate();
+        }
+        for (k, ctxs) in contexts.iter().enumerate() {
+            assert!(
+                !ctxs.is_empty(),
+                "workload {name}: kernel {} has no contexts",
+                kernels[k].name
+            );
+            for c in ctxs {
+                c.validate();
+            }
+        }
+        for (i, inv) in invocations.iter().enumerate() {
+            let k = inv.kernel.index();
+            assert!(
+                k < kernels.len(),
+                "workload {name}: invocation {i} references kernel {k} out of range"
+            );
+            assert!(
+                (inv.context as usize) < contexts[k].len(),
+                "workload {name}: invocation {i} references context {} of kernel {} out of range",
+                inv.context,
+                kernels[k].name
+            );
+        }
+        Workload {
+            name,
+            suite,
+            kernels,
+            contexts,
+            invocations,
+        }
+    }
+
+    /// Workload name (e.g. `heartwall`, `bert_infer`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which suite this workload belongs to.
+    pub fn suite(&self) -> SuiteKind {
+        self.suite
+    }
+
+    /// The kernel table.
+    pub fn kernels(&self) -> &[KernelClass] {
+        &self.kernels
+    }
+
+    /// Context table of kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn contexts_of(&self, k: KernelId) -> &[RuntimeContext] {
+        &self.contexts[k.index()]
+    }
+
+    /// The invocation stream.
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    /// Number of kernel launches.
+    pub fn num_invocations(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// The kernel class of an invocation.
+    pub fn kernel_of(&self, inv: &Invocation) -> &KernelClass {
+        &self.kernels[inv.kernel.index()]
+    }
+
+    /// The runtime context of an invocation.
+    pub fn context_of(&self, inv: &Invocation) -> &RuntimeContext {
+        &self.contexts[inv.kernel.index()][inv.context as usize]
+    }
+
+    /// Invocation indices grouped by kernel id, in stream order — the
+    /// "group kernel calls by name" first step of the STEM+ROOT pipeline
+    /// (Fig. 3).
+    pub fn invocations_by_kernel(&self) -> BTreeMap<KernelId, Vec<usize>> {
+        let mut map: BTreeMap<KernelId, Vec<usize>> = BTreeMap::new();
+        for (i, inv) in self.invocations.iter().enumerate() {
+            map.entry(inv.kernel).or_default().push(i);
+        }
+        map
+    }
+
+    /// Invocation indices grouped by kernel *name*, in stream order. Two
+    /// kernel classes can share a name (the same source kernel compiled or
+    /// launched with different configurations); methods that key on names
+    /// (Sieve's stratification) must see them as one group.
+    pub fn invocations_by_kernel_name(&self) -> BTreeMap<&str, Vec<usize>> {
+        let mut map: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, inv) in self.invocations.iter().enumerate() {
+            map.entry(self.kernel_of(inv).name.as_str())
+                .or_default()
+                .push(i);
+        }
+        map
+    }
+
+    /// Total dynamic instructions across the workload (at per-invocation
+    /// work scales), used by profiling-overhead models.
+    pub fn total_instructions(&self) -> f64 {
+        self.invocations
+            .iter()
+            .map(|inv| {
+                let k = self.kernel_of(inv);
+                let c = self.context_of(inv);
+                k.total_instructions() as f64 * c.work_scale * inv.work_scale as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelClassBuilder;
+
+    fn tiny() -> Workload {
+        let k0 = KernelClassBuilder::new("a").build();
+        let k1 = KernelClassBuilder::new("b").build();
+        Workload::new(
+            "w",
+            SuiteKind::Custom,
+            vec![k0, k1],
+            vec![
+                vec![RuntimeContext::neutral()],
+                vec![RuntimeContext::neutral(), RuntimeContext::neutral().with_work(2.0)],
+            ],
+            vec![
+                Invocation::new(KernelId(0), 0, 0.1),
+                Invocation::new(KernelId(1), 1, -0.3),
+                Invocation::new(KernelId(0), 0, 0.7),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let w = tiny();
+        assert_eq!(w.name(), "w");
+        assert_eq!(w.suite(), SuiteKind::Custom);
+        assert_eq!(w.num_invocations(), 3);
+        assert_eq!(w.kernels().len(), 2);
+        assert_eq!(w.contexts_of(KernelId(1)).len(), 2);
+        let inv = &w.invocations()[1];
+        assert_eq!(w.kernel_of(inv).name, "b");
+        assert_eq!(w.context_of(inv).work_scale, 2.0);
+    }
+
+    #[test]
+    fn grouping_by_kernel() {
+        let w = tiny();
+        let groups = w.invocations_by_kernel();
+        assert_eq!(groups[&KernelId(0)], vec![0, 2]);
+        assert_eq!(groups[&KernelId(1)], vec![1]);
+    }
+
+    #[test]
+    fn total_instructions_accounts_for_scales() {
+        let w = tiny();
+        let k = &w.kernels()[0];
+        let base = k.total_instructions() as f64;
+        // Two invocations of kernel 0 at scale 1 plus one of kernel 1 at
+        // context work 2.0.
+        let k1_base = w.kernels()[1].total_instructions() as f64;
+        assert!((w.total_instructions() - (2.0 * base + 2.0 * k1_base)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_kernel_ref_rejected() {
+        let k0 = KernelClassBuilder::new("a").build();
+        Workload::new(
+            "w",
+            SuiteKind::Custom,
+            vec![k0],
+            vec![vec![RuntimeContext::neutral()]],
+            vec![Invocation::new(KernelId(5), 0, 0.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "has no contexts")]
+    fn empty_context_table_rejected() {
+        let k0 = KernelClassBuilder::new("a").build();
+        Workload::new("w", SuiteKind::Custom, vec![k0], vec![vec![]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one context table per kernel")]
+    fn mismatched_tables_rejected() {
+        let k0 = KernelClassBuilder::new("a").build();
+        Workload::new("w", SuiteKind::Custom, vec![k0], vec![], vec![]);
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(SuiteKind::Rodinia.to_string(), "rodinia");
+        assert_eq!(SuiteKind::Huggingface.to_string(), "huggingface");
+    }
+}

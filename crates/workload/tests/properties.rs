@@ -1,0 +1,96 @@
+//! Property-based tests for the workload substrate.
+
+use gpu_workload::kernel::KernelClassBuilder;
+use gpu_workload::suites::{casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale};
+use gpu_workload::{ContextSchedule, RuntimeContext, SuiteKind, WorkloadBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any suite seed yields structurally valid workloads (Workload::new
+    /// validates on construction; this exercises generator edge seeds).
+    #[test]
+    fn suites_valid_for_any_seed(seed in 0u64..10_000) {
+        let rodinia = rodinia_suite(seed);
+        prop_assert_eq!(rodinia.len(), 13);
+        for w in &rodinia {
+            prop_assert!(w.num_invocations() > 0);
+            prop_assert_eq!(w.suite(), SuiteKind::Rodinia);
+        }
+        // One CASIO workload per run keeps the test quick.
+        let casio = casio_suite(seed);
+        prop_assert_eq!(casio.len(), 11);
+    }
+
+    /// Builder schedules always produce the requested invocation counts
+    /// with in-range context indices.
+    #[test]
+    fn schedules_produce_exact_counts(
+        seed in 0u64..1000,
+        contexts in 1usize..6,
+        count in 1usize..400,
+        variant in 0u8..3,
+    ) {
+        let mut b = WorkloadBuilder::new("p", SuiteKind::Custom, seed);
+        let ctxs: Vec<RuntimeContext> = (0..contexts)
+            .map(|i| RuntimeContext::neutral().with_work(1.0 + i as f64 * 0.5))
+            .collect();
+        let id = b.add_kernel(KernelClassBuilder::new("k").build(), ctxs);
+        let schedule = match variant {
+            0 => ContextSchedule::Cyclic,
+            1 => ContextSchedule::Weighted(vec![1.0; contexts]),
+            _ => ContextSchedule::Phased(
+                (0..contexts).map(|c| (c, 2)).collect(),
+            ),
+        };
+        b.schedule(id, &schedule, count);
+        let w = b.build();
+        prop_assert_eq!(w.num_invocations(), count);
+        for inv in w.invocations() {
+            prop_assert!((inv.context as usize) < contexts);
+            prop_assert!(inv.work_scale > 0.0);
+            prop_assert!(inv.noise_z.is_finite());
+        }
+    }
+
+    /// invocations_by_kernel partitions the stream and preserves order.
+    #[test]
+    fn grouping_partitions_stream(seed in 0u64..1000, n in 1usize..200) {
+        let mut b = WorkloadBuilder::new("p", SuiteKind::Custom, seed);
+        let a = b.add_kernel(
+            KernelClassBuilder::new("a").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        let c = b.add_kernel(
+            KernelClassBuilder::new("c").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        for i in 0..n {
+            b.invoke(if i % 3 == 0 { a } else { c }, 0, 1.0);
+        }
+        let w = b.build();
+        let groups = w.invocations_by_kernel();
+        let total: usize = groups.values().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        for members in groups.values() {
+            for pair in members.windows(2) {
+                prop_assert!(pair[1] > pair[0], "stream order preserved");
+            }
+        }
+    }
+
+    /// HuggingFace scale controls the invocation count monotonically.
+    #[test]
+    fn hf_scale_monotone(seed in 0u64..100) {
+        let small: usize = huggingface_suite(seed, HuggingfaceScale::custom(0.003))
+            .iter()
+            .map(|w| w.num_invocations())
+            .sum();
+        let large: usize = huggingface_suite(seed, HuggingfaceScale::custom(0.012))
+            .iter()
+            .map(|w| w.num_invocations())
+            .sum();
+        prop_assert!(large >= small);
+    }
+}

@@ -1,0 +1,45 @@
+//! Tuning the speedup/accuracy tradeoff with the error bound (Fig. 11).
+//!
+//! ```text
+//! cargo run --release --example error_bound_tuning
+//! ```
+//!
+//! STEM's single tunable is the theoretical error bound `epsilon`. This
+//! example sweeps it on a CASIO workload and prints the resulting
+//! speedup/error frontier, demonstrating the paper's Fig. 11 behaviour:
+//! larger bounds buy speedup, observed error always stays under the bound.
+
+use stem::prelude::*;
+
+fn main() {
+    let suite = casio_suite(5);
+    let workload = suite
+        .iter()
+        .find(|w| w.name() == "bert_infer")
+        .expect("bert_infer is part of the CASIO suite");
+    let sim = Simulator::new(GpuConfig::rtx2080());
+    let full = sim.run_full(workload);
+
+    println!(
+        "{:>8} {:>9} {:>10} {:>12} {:>10}",
+        "epsilon", "samples", "clusters", "error %", "speedup"
+    );
+    for eps in [0.01, 0.03, 0.05, 0.10, 0.25] {
+        let sampler = StemRootSampler::new(StemConfig::default().with_epsilon(eps));
+        let plan = sampler.plan(workload, 1);
+        let run = sim.run_sampled(workload, plan.samples());
+        let error_pct = run.error(full.total_cycles) * 100.0;
+        println!(
+            "{:>7.0}% {:>9} {:>10} {:>11.3}% {:>9.1}x",
+            eps * 100.0,
+            plan.num_samples(),
+            plan.num_clusters(),
+            error_pct,
+            run.speedup(full.total_cycles)
+        );
+        assert!(
+            error_pct / 100.0 <= eps,
+            "observed error must respect the bound"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Node sampling on a multi-GPU training trace (the paper's Sec. 6.2
+//! future-work direction).
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_training
+//! ```
+//!
+//! Builds a Chakra-style execution trace of data-parallel training
+//! (forward/backward per GPU, per-layer gradient all-reduce, optimizer
+//! step), simulates it on an H100 NVLink node, then samples *nodes* with
+//! STEM+ROOT and reconstructs both the total device time (weighted sum)
+//! and the makespan (list scheduling over estimated durations — the DAG's
+//! dependencies are known, only durations are sampled).
+
+use stem::core::et::evaluate_trace_sampling;
+use stem::prelude::*;
+use stem::sim::multi_gpu::{simulate_trace, ClusterConfig};
+use stem::workload::chakra::data_parallel_training;
+
+fn main() {
+    let cluster = ClusterConfig::h100_nvlink();
+    let stem_cfg = StemConfig::default();
+
+    println!(
+        "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "GPUs", "nodes", "simulated", "node spdup", "total err%", "makespan err%"
+    );
+    for num_gpus in [1u8, 2, 4, 8] {
+        let trace = data_parallel_training("ddp", num_gpus, 24, 40, 11);
+        let report = evaluate_trace_sampling(&trace, &cluster, &stem_cfg, 0);
+        println!(
+            "{:>5} {:>8} {:>10} {:>11.1}x {:>11.3}% {:>12.3}%",
+            num_gpus,
+            report.total_nodes,
+            report.simulated_nodes,
+            report.node_speedup(),
+            report.total_error() * 100.0,
+            report.makespan_error() * 100.0
+        );
+        assert!(report.total_error() < 0.05);
+        assert!(report.makespan_error() < 0.05);
+    }
+
+    // Show the underlying full simulation once, for context.
+    let trace = data_parallel_training("ddp", 8, 24, 40, 11);
+    let run = simulate_trace(&trace, &cluster);
+    let comm: f64 = trace
+        .nodes()
+        .iter()
+        .zip(&run.durations)
+        .filter(|(n, _)| n.op.is_communication())
+        .map(|(_, d)| d)
+        .sum();
+    println!(
+        "\n8-GPU trace: makespan {:.3e} cycles ({:.1} ms), device time {:.3e}, \
+         communication share of device time {:.1}%",
+        run.makespan_cycles,
+        cluster.gpu.cycles_to_seconds(run.makespan_cycles) * 1e3,
+        run.total_device_cycles,
+        comm / run.total_device_cycles * 100.0
+    );
+}

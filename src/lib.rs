@@ -1,0 +1,79 @@
+//! STEM+ROOT — swift and trustworthy large-scale GPU simulation with
+//! fine-grained error modeling and hierarchical clustering.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`stem-core`) — the paper's contribution: the STEM error
+//!   model, ROOT hierarchical clustering, sampling plans and the
+//!   profile→sample→simulate pipeline.
+//! * [`baselines`] (`stem-baselines`) — PKA, Sieve, Photon, uniform random
+//!   and TBPoint samplers.
+//! * [`workload`] (`gpu-workload`) — the workload model plus synthetic
+//!   Rodinia / CASIO / HuggingFace suites.
+//! * [`sim`] (`gpu-sim`) — the kernel-level GPU timing simulator with
+//!   configurable microarchitecture.
+//! * [`profile`] (`gpu-profile`) — NSYS/NCU/NVBit/BBV-style profilers and
+//!   the Table 5 overhead models.
+//! * [`stats`] (`stem-stats`) — CLT sample sizing, the KKT solver, error
+//!   bounds, KDE and summaries.
+//! * [`cluster`] (`stem-cluster`) — k-means, exact 1-D k-means, PCA.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stem::prelude::*;
+//!
+//! // Build a workload (here: a synthetic Rodinia benchmark).
+//! let workload = &rodinia_suite(7)[0];
+//!
+//! // Sample it with STEM+ROOT at the paper's settings (eps = 5%, 95%).
+//! let sampler = StemRootSampler::new(StemConfig::default());
+//! let plan = sampler.plan(workload, 0);
+//!
+//! // Run the sampled simulation and compare against ground truth.
+//! let sim = Simulator::new(GpuConfig::rtx2080());
+//! let full = sim.run_full(workload);
+//! let sampled = sim.run_sampled(workload, plan.samples());
+//! println!(
+//!     "error {:.3}%  speedup {:.1}x",
+//!     sampled.error(full.total_cycles) * 100.0,
+//!     sampled.speedup(full.total_cycles),
+//! );
+//! assert!(sampled.error(full.total_cycles) < 0.05);
+//! ```
+
+pub use gpu_profile as profile;
+pub use gpu_sim as sim;
+pub use gpu_workload as workload;
+pub use stem_baselines as baselines;
+pub use stem_cluster as cluster;
+pub use stem_core as core;
+pub use stem_stats as stats;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use gpu_sim::{DseTransform, GpuConfig, SampledRun, Simulator, WeightedSample};
+    pub use gpu_workload::suites::{
+        casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale,
+    };
+    pub use gpu_workload::{
+        ContextSchedule, InstructionMix, KernelClass, RuntimeContext, SuiteKind, Workload,
+        WorkloadBuilder,
+    };
+    pub use stem_baselines::{
+        PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler,
+    };
+    pub use stem_core::sampler::KernelSampler;
+    pub use stem_core::{Pipeline, SamplingPlan, StemConfig, StemRootSampler};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let cfg = StemConfig::default();
+        assert_eq!(cfg.epsilon, 0.05);
+        let _ = GpuConfig::rtx2080();
+    }
+}
