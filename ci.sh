@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: hermetic (offline) build, full test suite, workspace lint
+# pass. Everything here must succeed with no network access at all.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo run -p stem-tidy --release --offline

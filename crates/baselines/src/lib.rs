@@ -23,6 +23,10 @@
 //! use a random representative instead of the first-chronological one
 //! (Sec. 5.1); both implementations expose that switch.
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod photon;
 pub mod pka;
 pub mod random;

@@ -17,8 +17,7 @@
 use gpu_profile::{FeatureProfiler, PKA_FEATURE_COUNT};
 use gpu_sim::WeightedSample;
 use gpu_workload::Workload;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stem_core::rng::{RngExt, SeedableRng, StdRng};
 use std::collections::HashMap;
 use stem_cluster::{KMeans, KMeansConfig};
 use stem_core::plan::{ClusterSummary, SamplingPlan};

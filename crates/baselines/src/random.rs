@@ -8,8 +8,7 @@
 
 use gpu_sim::WeightedSample;
 use gpu_workload::{SuiteKind, Workload};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stem_core::rng::{RngExt, SeedableRng, StdRng};
 use stem_core::plan::SamplingPlan;
 use stem_core::sampler::KernelSampler;
 

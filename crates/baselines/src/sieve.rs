@@ -21,8 +21,7 @@
 use gpu_profile::instr::InstrProfiler;
 use gpu_sim::WeightedSample;
 use gpu_workload::Workload;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stem_core::rng::{RngExt, SeedableRng, StdRng};
 use std::collections::HashMap;
 use stem_core::plan::{ClusterSummary, SamplingPlan};
 use stem_core::sampler::KernelSampler;
@@ -105,7 +104,7 @@ impl KernelSampler for SieveSampler {
                         (lo_max + hi_min) / 2.0
                     })
                     .collect();
-                bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                bounds.sort_by(f64::total_cmp);
                 let mut groups = vec![Vec::new(); bounds.len() + 1];
                 for (&m, &v) in members.iter().zip(&instr) {
                     let g = bounds.iter().take_while(|&&b| v > b).count();

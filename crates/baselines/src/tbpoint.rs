@@ -103,8 +103,7 @@ impl KernelSampler for TbPointSampler {
                 .copied()
                 .min_by(|&a, &b| {
                     sq_euclidean(&distinct[a], centroid)
-                        .partial_cmp(&sq_euclidean(&distinct[b], centroid))
-                        .expect("finite distances")
+                        .total_cmp(&sq_euclidean(&distinct[b], centroid))
                 })
                 .expect("nonempty cluster");
             let rep = members[best_slot][0];

@@ -1,7 +1,7 @@
 //! Core-algorithm microbenchmarks: the KKT solver (Eq. 6), ROOT's exact
 //! two-way split, 1-D k-means, d-dimensional k-means and KDE.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stem_bench::microbench::{bench, group};
 use stem_cluster::{best_two_split, kmeans_1d, KMeans, KMeansConfig};
 use stem_stats::kde::Kde;
 use stem_stats::kkt::{solve_sample_sizes, ClusterStat};
@@ -23,8 +23,8 @@ fn synth_values(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_kkt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kkt_solver");
+fn bench_kkt() {
+    group("kkt_solver");
     for k in [4usize, 64, 1024] {
         let clusters: Vec<ClusterStat> = (0..k)
             .map(|i| {
@@ -35,60 +35,46 @@ fn bench_kkt(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &clusters, |b, cl| {
-            b.iter(|| solve_sample_sizes(cl, 0.05, 1.96))
-        });
+        bench(&format!("kkt_solver/{k}"), || solve_sample_sizes(&clusters, 0.05, 1.96));
     }
-    group.finish();
 }
 
-fn bench_two_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("root_two_split");
+fn bench_two_split() {
+    group("root_two_split");
     for n in [1_000usize, 10_000, 100_000] {
         let values = synth_values(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
-            b.iter(|| best_two_split(v))
-        });
+        bench(&format!("root_two_split/{n}"), || best_two_split(&values));
     }
-    group.finish();
 }
 
-fn bench_kmeans_1d(c: &mut Criterion) {
+fn bench_kmeans_1d() {
     let values = synth_values(500);
-    c.bench_function("kmeans_1d_dp_k4_n500", |b| b.iter(|| kmeans_1d(&values, 4)));
+    bench("kmeans_1d_dp_k4_n500", || kmeans_1d(&values, 4));
 }
 
-fn bench_kmeans(c: &mut Criterion) {
+fn bench_kmeans() {
     let points: Vec<Vec<f64>> = synth_values(2_000)
         .chunks(2)
         .map(|ch| vec![ch[0], ch[1]])
         .collect();
-    c.bench_function("kmeans_2d_k8_n1000", |b| {
-        b.iter(|| KMeans::fit(&points, KMeansConfig::new(8, 3)))
-    });
+    bench("kmeans_2d_k8_n1000", || KMeans::fit(&points, KMeansConfig::new(8, 3)));
 }
 
-fn bench_kde(c: &mut Criterion) {
+fn bench_kde() {
     let values = synth_values(2_000);
-    c.bench_function("kde_modes_n2000", |b| {
-        b.iter(|| Kde::new(&values).modes(256, 0.15))
-    });
+    bench("kde_modes_n2000", || Kde::new(&values).modes(256, 0.15));
 }
 
-fn bench_multi_gpu_trace(c: &mut Criterion) {
+fn bench_multi_gpu_trace() {
     use gpu_sim::multi_gpu::{simulate_trace, ClusterConfig};
     use gpu_workload::chakra::data_parallel_training;
     let trace = data_parallel_training("ddp", 8, 24, 10, 3);
     let cfg = ClusterConfig::h100_nvlink();
-    let mut group = c.benchmark_group("multi_gpu");
-    group.sample_size(20);
-    group.bench_function("simulate_ddp_8gpu_10step", |b| {
-        b.iter(|| simulate_trace(&trace, &cfg))
-    });
-    group.finish();
+    group("multi_gpu");
+    bench("simulate_ddp_8gpu_10step", || simulate_trace(&trace, &cfg));
 }
 
-fn bench_wave_profile(c: &mut Criterion) {
+fn bench_wave_profile() {
     use gpu_sim::{GpuConfig, Simulator};
     use gpu_workload::kernel::KernelClassBuilder;
     use gpu_workload::{RuntimeContext, SuiteKind, WorkloadBuilder};
@@ -104,19 +90,15 @@ fn bench_wave_profile(c: &mut Criterion) {
     b.invoke(id, 0, 1.0);
     let w = b.build();
     let sim = Simulator::new(GpuConfig::rtx2080());
-    c.bench_function("wave_profile_65_waves", |bch| {
-        bch.iter(|| sim.wave_profile(&w, &w.invocations()[0]))
-    });
+    bench("wave_profile_65_waves", || sim.wave_profile(&w, &w.invocations()[0]));
 }
 
-criterion_group!(
-    benches,
-    bench_kkt,
-    bench_two_split,
-    bench_kmeans_1d,
-    bench_kmeans,
-    bench_kde,
-    bench_multi_gpu_trace,
-    bench_wave_profile
-);
-criterion_main!(benches);
+fn main() {
+    bench_kkt();
+    bench_two_split();
+    bench_kmeans_1d();
+    bench_kmeans();
+    bench_kde();
+    bench_multi_gpu_trace();
+    bench_wave_profile();
+}

@@ -1,13 +1,13 @@
-//! One Criterion bench per reproduced table/figure, each timing the
-//! experiment harness at a reduced setting. These complement the `repro`
-//! binary (which prints the actual rows): the benches keep the cost of
-//! regenerating each artifact visible and regression-tracked.
+//! One micro-bench per reproduced table/figure, each timing the experiment
+//! harness at a reduced setting. These complement the `repro` binary (which
+//! prints the actual rows): the benches keep the cost of regenerating each
+//! artifact visible and regression-tracked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use stem_bench::experiments::{accuracy, dse, limits, metrics, motivation, overhead};
-use stem_bench::harness::ExperimentOptions;
 use gpu_workload::suites::HuggingfaceScale;
 use gpu_workload::SuiteKind;
+use stem_bench::experiments::{accuracy, dse, limits, metrics, motivation, overhead};
+use stem_bench::harness::ExperimentOptions;
+use stem_bench::microbench::{bench, group};
 
 fn tiny_options() -> ExperimentOptions {
     let mut o = ExperimentOptions::fast();
@@ -16,90 +16,33 @@ fn tiny_options() -> ExperimentOptions {
     o
 }
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let opts = tiny_options();
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    group.bench_function("inventory", |b| b.iter(|| motivation::table2(&opts)));
-    group.finish();
-}
 
-fn bench_table3_rodinia(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
-    group.bench_function("rodinia_all_methods", |b| {
-        b.iter(|| accuracy::run_suite(SuiteKind::Rodinia, &opts))
-    });
-    group.finish();
-}
+    group("table2");
+    bench("inventory", || motivation::table2(&opts));
 
-fn bench_table4_dse(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("table4");
-    group.sample_size(10);
-    group.bench_function("dse_errors", |b| b.iter(|| dse::table4(&opts)));
-    group.finish();
-}
+    group("table3");
+    bench("rodinia_all_methods", || accuracy::run_suite(SuiteKind::Rodinia, &opts));
 
-fn bench_table5_overhead(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("table5");
-    group.sample_size(10);
-    group.bench_function("profiling_overheads", |b| b.iter(|| overhead::table5(&opts)));
-    group.finish();
-}
+    group("table4");
+    bench("dse_errors", || dse::table4(&opts));
 
-fn bench_fig1(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("fig1");
-    group.sample_size(10);
-    group.bench_function("histograms", |b| b.iter(|| motivation::fig1(&opts)));
-    group.finish();
-}
+    group("table5");
+    bench("profiling_overheads", || overhead::table5(&opts));
 
-fn bench_fig10(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
-    group.bench_function("identical_groups", |b| b.iter(|| limits::fig10(&opts)));
-    group.finish();
-}
+    group("fig1");
+    bench("histograms", || motivation::fig1(&opts));
 
-fn bench_fig11(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
-    group.bench_function("epsilon_sweep", |b| b.iter(|| limits::fig11(&opts)));
-    group.finish();
-}
+    group("fig10");
+    bench("identical_groups", || limits::fig10(&opts));
 
-fn bench_fig13(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("fig13");
-    group.sample_size(10);
-    group.bench_function("h100_to_h200", |b| b.iter(|| dse::fig13(&opts)));
-    group.finish();
-}
+    group("fig11");
+    bench("epsilon_sweep", || limits::fig11(&opts));
 
-fn bench_fig14(c: &mut Criterion) {
-    let opts = tiny_options();
-    let mut group = c.benchmark_group("fig14");
-    group.sample_size(10);
-    group.bench_function("metric_validation", |b| b.iter(|| metrics::fig14(&opts)));
-    group.finish();
-}
+    group("fig13");
+    bench("h100_to_h200", || dse::fig13(&opts));
 
-criterion_group!(
-    benches,
-    bench_table2,
-    bench_table3_rodinia,
-    bench_table4_dse,
-    bench_table5_overhead,
-    bench_fig1,
-    bench_fig10,
-    bench_fig11,
-    bench_fig13,
-    bench_fig14
-);
-criterion_main!(benches);
+    group("fig14");
+    bench("metric_validation", || metrics::fig14(&opts));
+}

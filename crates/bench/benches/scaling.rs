@@ -2,10 +2,10 @@
 //! near-linear in the number of kernel invocations, while Photon's online
 //! BBV matching grows superlinearly as its candidate tables fill.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_workload::suites::{huggingface_suite, HuggingfaceScale};
 use gpu_workload::Workload;
 use stem_baselines::PhotonSampler;
+use stem_bench::microbench::{bench, group};
 use stem_core::sampler::KernelSampler;
 use stem_core::{StemConfig, StemRootSampler};
 
@@ -16,23 +16,14 @@ fn workload_at(scale: f64) -> Workload {
         .expect("bert exists")
 }
 
-fn bench_scalability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sec5_6_scalability");
-    group.sample_size(10);
+fn main() {
+    group("sec5_6_scalability");
     for scale in [0.002, 0.008, 0.032] {
         let w = workload_at(scale);
         let n = w.num_invocations();
         let stem = StemRootSampler::new(StemConfig::default());
-        group.bench_with_input(BenchmarkId::new("stem_plan", n), &w, |b, w| {
-            b.iter(|| stem.plan(w, 1))
-        });
+        bench(&format!("stem_plan/{n}"), || stem.plan(&w, 1));
         let photon = PhotonSampler::new();
-        group.bench_with_input(BenchmarkId::new("photon_match", n), &w, |b, w| {
-            b.iter(|| photon.analyze(w))
-        });
+        bench(&format!("photon_match/{n}"), || photon.analyze(&w));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scalability);
-criterion_main!(benches);

@@ -10,12 +10,18 @@
 //!   it printed so integration tests can assert the paper's *shape* claims
 //!   (who wins, by roughly what factor).
 //!
-//! Criterion benches (in `benches/`) cover the paper's performance claims:
-//! STEM's near-linear scalability versus Photon's quadratic matching
-//! (Sec. 5.6) and the costs of the core algorithms.
+//! Benches (in `benches/`, on the [`microbench`] harness) cover the
+//! paper's performance claims: STEM's near-linear scalability versus
+//! Photon's quadratic matching (Sec. 5.6) and the costs of the core
+//! algorithms.
+
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 
 pub use harness::{build_sampler, ExperimentOptions, MethodKind};

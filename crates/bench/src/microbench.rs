@@ -1,0 +1,112 @@
+//! A minimal `std::time::Instant` micro-benchmark harness.
+//!
+//! Replaces the former `criterion` dev-dependency so the workspace builds
+//! hermetically. It keeps the parts of criterion the benches actually used:
+//! warmup, automatic iteration-count calibration toward a fixed measurement
+//! budget, and a one-line min/median/mean report per benchmark.
+//!
+//! Not a statistics engine: no outlier rejection or regression tracking.
+//! Numbers are for relative, same-machine comparison — exactly how the
+//! paper's Sec. 5.6 scaling claims are phrased.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for the measured phase of one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Measured batches per benchmark (each batch runs `iters_per_batch` calls).
+const BATCHES: usize = 10;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group/benchmark label, e.g. `kkt_solver/64`.
+    pub name: String,
+    /// Fastest batch (least interference).
+    pub min_ns: f64,
+    /// Median batch.
+    pub median_ns: f64,
+    /// Mean over all batches.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    fn report(&self) {
+        println!(
+            "bench {:<44} min {:>12}  median {:>12}  mean {:>12}  ({} iters)",
+            self.name,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            fmt_ns(self.mean_ns),
+            self.iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Time `f`, returning per-iteration statistics. The closure's result is
+/// routed through [`black_box`] so the optimizer cannot delete the work.
+pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) -> BenchResult {
+    // Warmup + calibration: run until 10ms or 3 calls, whichever is later.
+    let cal_start = Instant::now();
+    let mut cal_iters: u64 = 0;
+    while cal_iters < 3 || cal_start.elapsed() < Duration::from_millis(10) {
+        black_box(f());
+        cal_iters += 1;
+    }
+    let per_call = cal_start.elapsed().as_secs_f64() / cal_iters as f64;
+
+    let total_iters =
+        ((MEASURE_BUDGET.as_secs_f64() / per_call.max(1e-9)) as u64).clamp(BATCHES as u64, 1_000_000);
+    let iters_per_batch = (total_iters / BATCHES as u64).max(1);
+
+    let mut batch_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters_per_batch {
+            black_box(f());
+        }
+        batch_ns.push(t.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+    }
+    batch_ns.sort_by(f64::total_cmp);
+    let result = BenchResult {
+        name: name.to_string(),
+        min_ns: batch_ns[0],
+        median_ns: batch_ns[BATCHES / 2],
+        mean_ns: batch_ns.iter().sum::<f64>() / BATCHES as f64,
+        iters: iters_per_batch * BATCHES as u64,
+    };
+    result.report();
+    result
+}
+
+/// Group header, mirroring criterion's `benchmark_group` output shape.
+pub fn group(name: &str) {
+    println!("\n== {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let r = bench("smoke/sum", || (0..1000u64).sum::<u64>());
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns * 1.5 + 1.0);
+        assert!(r.iters >= BATCHES as u64);
+    }
+}

@@ -93,8 +93,16 @@ pub fn results_dir() -> PathBuf {
 ///
 /// Panics if the directory or file cannot be written.
 pub fn write_result(name: &str, contents: &str) -> PathBuf {
-    let dir = results_dir();
-    fs::create_dir_all(&dir).expect("create results directory");
+    write_result_in(&results_dir(), name, contents)
+}
+
+/// Writes `contents` to `dir/name`, creating the directory.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written.
+pub fn write_result_in(dir: &Path, name: &str, contents: &str) -> PathBuf {
+    fs::create_dir_all(dir).expect("create results directory");
     let path = dir.join(name);
     fs::write(&path, contents).expect("write result file");
     path
@@ -158,16 +166,9 @@ mod tests {
     #[test]
     fn write_and_read_result() {
         let dir = std::env::temp_dir().join("stem_report_test");
-        // Isolate via env var; restore afterwards.
-        let old = std::env::var_os("STEM_RESULTS_DIR");
-        unsafe { std::env::set_var("STEM_RESULTS_DIR", &dir) };
-        let path = write_result("t.csv", "a\n1\n");
+        let path = write_result_in(&dir, "t.csv", "a\n1\n");
         let back = read_result(&path);
         assert_eq!(back, "a\n1\n");
-        match old {
-            Some(v) => unsafe { std::env::set_var("STEM_RESULTS_DIR", v) },
-            None => unsafe { std::env::remove_var("STEM_RESULTS_DIR") },
-        }
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -5,12 +5,10 @@
 //! dimension. Fully deterministic under a seed.
 
 use crate::distance::sq_euclidean;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
 /// Configuration for [`KMeans::fit`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KMeansConfig {
     /// Number of clusters.
     pub k: usize,
@@ -48,7 +46,7 @@ impl KMeansConfig {
 /// assert_eq!(km.assignments()[0], km.assignments()[1]);
 /// assert_ne!(km.assignments()[0], km.assignments()[2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KMeans {
     centroids: Vec<Vec<f64>>,
     assignments: Vec<usize>,
@@ -240,7 +238,7 @@ fn plus_plus_init(
         }
         centroids.push(points[chosen].clone());
         for ((d, p), &w) in dists.iter_mut().zip(points).zip(weights) {
-            let nd = w * sq_euclidean(p, centroids.last().expect("nonempty"));
+            let nd = w * sq_euclidean(p, &points[chosen]);
             if nd < *d {
                 *d = nd;
             }

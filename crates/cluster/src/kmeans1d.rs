@@ -8,10 +8,9 @@
 //! ([`best_two_split`]). A general exact DP (`O(k n^2)`) is provided for
 //! arbitrary `k` ([`kmeans_1d`]).
 
-use serde::{Deserialize, Serialize};
 
 /// The optimal two-way split of a set of values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoSplit {
     /// Values `< threshold` go to the lower cluster, the rest to the upper.
     /// Lies strictly between the two clusters' extreme members.
@@ -46,7 +45,7 @@ pub fn best_two_split(values: &[f64]) -> TwoSplit {
         assert!(v.is_finite(), "values must be finite");
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
 
     if n == 1 || sorted[0] == sorted[n - 1] {
@@ -113,7 +112,7 @@ pub fn kmeans_1d(values: &[f64], k: usize) -> (Vec<usize>, f64) {
     }
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
 
     let distinct = {

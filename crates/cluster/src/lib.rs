@@ -25,6 +25,10 @@
 //! assert!(split.threshold > 11.0 && split.threshold < 49.0);
 //! ```
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod kmeans;
 pub mod kmeans1d;

@@ -7,10 +7,9 @@
 
 #![allow(clippy::needless_range_loop)] // symmetric-matrix math reads best indexed
 
-use serde::{Deserialize, Serialize};
 
 /// A fitted PCA model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     mean: Vec<f64>,
     /// Principal axes, one row per component, sorted by descending
@@ -64,11 +63,7 @@ impl Pca {
         let (eigenvalues, eigenvectors) = jacobi_eigen(&cov);
         // Sort by descending eigenvalue.
         let mut order: Vec<usize> = (0..dim).collect();
-        order.sort_by(|&a, &b| {
-            eigenvalues[b]
-                .partial_cmp(&eigenvalues[a])
-                .expect("finite eigenvalues")
-        });
+        order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
         let keep = n_components.min(dim);
         let components: Vec<Vec<f64>> = order[..keep]
             .iter()
@@ -178,7 +173,7 @@ mod tests {
         let m = vec![vec![3.0, 0.0], vec![0.0, 1.0]];
         let (vals, _) = jacobi_eigen(&m);
         let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         assert!((sorted[0] - 3.0).abs() < 1e-10);
         assert!((sorted[1] - 1.0).abs() < 1e-10);
     }
@@ -189,7 +184,7 @@ mod tests {
         let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
         let (vals, vecs) = jacobi_eigen(&m);
         let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         assert!((sorted[0] - 3.0).abs() < 1e-10);
         assert!((sorted[1] - 1.0).abs() < 1e-10);
         // Eigenvector columns are orthonormal.

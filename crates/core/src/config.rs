@@ -1,13 +1,12 @@
 //! Configuration of the STEM+ROOT sampler.
 
 use gpu_sim::GpuConfig;
-use serde::{Deserialize, Serialize};
 use stem_stats::normal::z_for_confidence;
 
 /// Hyperparameters of STEM+ROOT (paper Sec. 4, "Replication &
 /// Hyperparameters": `epsilon = 0.05`, 95% confidence (`z = 1.96`), `k = 2`
 /// for each of ROOT's splits).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StemConfig {
     /// Desired upper bound on the theoretical sampling error (fraction).
     pub epsilon: f64,

@@ -20,8 +20,7 @@ use crate::config::StemConfig;
 use crate::root::{cluster_indices, IndexCluster};
 use gpu_sim::multi_gpu::{node_durations, schedule, simulate_trace, ClusterConfig};
 use gpu_workload::chakra::{EtOp, ExecutionTrace};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 use std::collections::BTreeMap;
 
 /// Operator signature used for the initial grouping (the analogue of

@@ -5,10 +5,9 @@
 use crate::sampler::KernelSampler;
 use gpu_sim::{FullRun, Simulator};
 use gpu_workload::Workload;
-use serde::{Deserialize, Serialize};
 
 /// One repetition's outcome on one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalResult {
     /// Method name.
     pub method: String,
@@ -25,7 +24,7 @@ pub struct EvalResult {
 }
 
 /// Aggregated outcome over repetitions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalSummary {
     /// Method name.
     pub method: String,

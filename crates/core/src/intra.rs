@@ -13,8 +13,7 @@
 use crate::config::StemConfig;
 use gpu_sim::Simulator;
 use gpu_workload::Workload;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{RngExt, SeedableRng, StdRng};
 use stem_stats::clt::sample_size;
 use stem_stats::Summary;
 

@@ -40,8 +40,19 @@
 //! assert!(sampled.error(full.total_cycles) < 0.05);
 //! ```
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod et;
+/// Deterministic seeded PRNG shared by the whole workspace.
+///
+/// The implementation lives in the leaf crate [`stem_stats`] (so that
+/// `stem-cluster` and `gpu-workload`, which `stem-core` depends on, can use
+/// it without a dependency cycle); this re-export is the canonical path for
+/// samplers and downstream code.
+pub use stem_stats::rng;
 pub mod intra;
 pub mod eval;
 pub mod pipeline;

@@ -1,10 +1,9 @@
 //! Sampling plans: the output of every sampling method.
 
 use gpu_sim::WeightedSample;
-use serde::{Deserialize, Serialize};
 
 /// Summary of one cluster in a plan (for diagnostics and figures).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSummary {
     /// Kernel name the cluster belongs to.
     pub kernel: String,
@@ -20,7 +19,7 @@ pub struct ClusterSummary {
 
 /// A complete sampling plan: the invocations to simulate, their
 /// extrapolation weights, and per-cluster diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplingPlan {
     method: String,
     samples: Vec<WeightedSample>,

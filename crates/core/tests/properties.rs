@@ -1,14 +1,23 @@
-//! Property-based tests for STEM+ROOT invariants.
+//! Property-style tests for STEM+ROOT invariants.
+//!
+//! Formerly `proptest`-based; rewritten as deterministic seeded-loop
+//! property tests so the workspace builds hermetically.
 
 use gpu_workload::kernel::KernelClassBuilder;
 use gpu_workload::{RuntimeContext, SuiteKind, Workload, WorkloadBuilder};
-use proptest::prelude::*;
+use stem_core::rng::{RngExt, SeedableRng, StdRng};
 use stem_core::root::cluster_workload;
 use stem_core::{StemConfig, StemRootSampler};
 use stem_stats::bound::theoretical_error;
 use stem_stats::clt::sample_size;
 use stem_stats::kkt::ClusterStat;
 use stem_stats::Summary;
+
+const CASES: u64 = 48;
+
+fn rng_for(test_tag: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x2007_0CA1 ^ (test_tag << 32) ^ case)
+}
 
 /// A single-kernel workload of `n` invocations (times supplied separately).
 fn flat_workload(n: usize) -> Workload {
@@ -23,30 +32,28 @@ fn flat_workload(n: usize) -> Workload {
     b.build()
 }
 
-/// Strategy producing a positive multi-modal time array.
-fn times_strategy() -> impl Strategy<Value = Vec<f64>> {
-    (
-        prop::collection::vec(0u8..3, 16..400),
-        1.0f64..1e4,
-        1.5f64..50.0,
-    )
-        .prop_map(|(modes, base, gap)| {
-            modes
-                .iter()
-                .enumerate()
-                .map(|(i, &m)| base * gap.powi(m as i32) * (1.0 + (i % 13) as f64 * 0.003))
-                .collect()
+/// A positive multi-modal time array: a few well-separated modes with a
+/// deterministic per-index wobble, matching the old proptest strategy.
+fn gen_times(rng: &mut StdRng) -> Vec<f64> {
+    let n = rng.random_range(16usize..400);
+    let base = rng.random_range(1.0..1e4);
+    let gap = rng.random_range(1.5..50.0);
+    (0..n)
+        .map(|i| {
+            let mode = rng.random_range(0u32..3);
+            base * gap.powi(mode as i32) * (1.0 + (i % 13) as f64 * 0.003)
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// ROOT invariants: leaves partition the population, every member's
-    /// time lies within its leaf's [min, max], and the accepted clustering
-    /// never projects more simulation time than no clustering at all.
-    #[test]
-    fn root_partitions_and_never_hurts(times in times_strategy()) {
+/// ROOT invariants: leaves partition the population, every member's
+/// time lies within its leaf's [min, max], and the accepted clustering
+/// never projects more simulation time than no clustering at all.
+#[test]
+fn root_partitions_and_never_hurts() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let times = gen_times(&mut rng);
         let w = flat_workload(times.len());
         let cfg = StemConfig::paper();
         let clusters = cluster_workload(&w, &times, &cfg);
@@ -55,17 +62,17 @@ proptest! {
         let mut seen = vec![false; times.len()];
         for c in &clusters {
             for &m in &c.members {
-                prop_assert!(!seen[m], "member {m} assigned twice");
+                assert!(!seen[m], "case {case}: member {m} assigned twice");
                 seen[m] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
 
         // Stats consistent with membership.
         for c in &clusters {
             let s: Summary = c.members.iter().map(|&i| times[i]).collect();
-            prop_assert_eq!(c.stat.n, c.members.len() as u64);
-            prop_assert!((c.stat.mean - s.mean()).abs() < 1e-9 * (1.0 + s.mean()));
+            assert_eq!(c.stat.n, c.members.len() as u64, "case {case}");
+            assert!((c.stat.mean - s.mean()).abs() < 1e-9 * (1.0 + s.mean()), "case {case}");
         }
 
         // tau(leaves) <= tau(whole) under the same epsilon.
@@ -76,31 +83,42 @@ proptest! {
         let m = sample_size(whole.mean(), whole.population_std_dev(), cfg.epsilon, z)
             .min(times.len() as u64);
         let tau_whole = m as f64 * whole.mean();
-        prop_assert!(sol.tau <= tau_whole * (1.0 + 1e-9) + whole.mean());
+        assert!(sol.tau <= tau_whole * (1.0 + 1e-9) + whole.mean(), "case {case}");
     }
+}
 
-    /// The full sampler: the plan's theoretical error prediction respects
-    /// epsilon, weights reconstruct the population, and all sample indices
-    /// stay within their clusters' kernel.
-    #[test]
-    fn plan_from_times_is_well_formed(times in times_strategy(), seed in 0u64..50) {
+/// The full sampler: the plan's theoretical error prediction respects
+/// epsilon, weights reconstruct the population, and all sample indices
+/// stay within their clusters' kernel.
+#[test]
+fn plan_from_times_is_well_formed() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let times = gen_times(&mut rng);
+        let seed = rng.random_range(0u64..50);
         let w = flat_workload(times.len());
         let sampler = StemRootSampler::new(StemConfig::paper());
         let plan = sampler.plan_from_times(&w, &times, seed);
-        prop_assert!(plan.predicted_error() <= 0.05 + 1e-9);
+        assert!(plan.predicted_error() <= 0.05 + 1e-9, "case {case}");
         let total_weight = plan.total_weight();
         let n = times.len() as f64;
-        prop_assert!((total_weight - n).abs() < 1e-6 * n,
-            "weights {total_weight} vs population {n}");
+        assert!(
+            (total_weight - n).abs() < 1e-6 * n,
+            "case {case}: weights {total_weight} vs population {n}"
+        );
         for s in plan.samples() {
-            prop_assert!(s.index < times.len());
+            assert!(s.index < times.len(), "case {case}");
         }
     }
+}
 
-    /// Theoretical error of the plan's cluster/sizes agrees with the
-    /// independent bound computation.
-    #[test]
-    fn predicted_error_matches_bound(times in times_strategy()) {
+/// Theoretical error of the plan's cluster/sizes agrees with the
+/// independent bound computation.
+#[test]
+fn predicted_error_matches_bound() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let times = gen_times(&mut rng);
         let w = flat_workload(times.len());
         let sampler = StemRootSampler::new(StemConfig::paper());
         let plan = sampler.plan_from_times(&w, &times, 3);
@@ -111,12 +129,16 @@ proptest! {
             .collect();
         let sizes: Vec<u64> = plan.clusters().iter().map(|c| c.samples).collect();
         let e = theoretical_error(&stats, &sizes, 1.96);
-        prop_assert!(e <= 0.05 + 1e-9, "bound recomputation {e}");
+        assert!(e <= 0.05 + 1e-9, "case {case}: bound recomputation {e}");
     }
+}
 
-    /// Tightening epsilon never reduces the number of samples.
-    #[test]
-    fn tighter_epsilon_monotone(times in times_strategy()) {
+/// Tightening epsilon never reduces the number of samples.
+#[test]
+fn tighter_epsilon_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let times = gen_times(&mut rng);
         let w = flat_workload(times.len());
         let tight = StemRootSampler::new(StemConfig::paper().with_epsilon(0.01))
             .plan_from_times(&w, &times, 1)
@@ -124,6 +146,6 @@ proptest! {
         let loose = StemRootSampler::new(StemConfig::paper().with_epsilon(0.25))
             .plan_from_times(&w, &times, 1)
             .num_samples();
-        prop_assert!(tight >= loose, "tight {tight} < loose {loose}");
+        assert!(tight >= loose, "case {case}: tight {tight} < loose {loose}");
     }
 }

@@ -16,6 +16,10 @@
 //! collection plus a quadratically growing comparison bill. [`overhead`]
 //! turns those cost models into Table 5's "x original wall time" numbers.
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod bbv;
 pub mod csv;
 pub mod exec_time;

@@ -14,7 +14,6 @@
 //!   counting, amortized per block) *plus* the online BBV comparison bill,
 //!   O(N·S·d) to O(N²·d) in kernel count.
 
-use serde::{Deserialize, Serialize};
 
 /// Cost-model constants (seconds). Tuned to land in the regime Table 5
 /// reports for a mid-size ML suite; the *relative ordering and asymptotics*
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(m.nsys(7.26, 64_279).factor() < 20.0);
 /// assert!(m.ncu(7.26, 64_279).factor() > 500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// NSYS fixed session cost (launch, export).
     pub nsys_fixed_s: f64,
@@ -68,7 +67,7 @@ impl Default for OverheadModel {
 }
 
 /// One profiler's modelled overhead on one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadReport {
     /// Instrumented wall time, seconds.
     pub instrumented_s: f64,

@@ -7,10 +7,9 @@
 //! `StemRootSampler::plan_from_times`.
 
 use crate::csv::{from_csv, to_csv, ParseCsvError};
-use serde::{Deserialize, Serialize};
 
 /// An execution-time profile of one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecTimeProfile {
     workload: String,
     times: Vec<f64>,

@@ -9,10 +9,9 @@
 //! model in the spirit of [`crate::overhead`].
 
 use gpu_workload::Workload;
-use serde::{Deserialize, Serialize};
 
 /// Trace-generation cost constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceGenModel {
     /// Trace bytes emitted per dynamic thread instruction (compressed
     /// SASS-trace formats run a few bits–bytes per instruction).
@@ -35,7 +34,7 @@ impl Default for TraceGenModel {
 }
 
 /// Cost comparison of full vs selective trace generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceGenReport {
     /// Bytes to trace every invocation.
     pub full_bytes: f64,

@@ -1,6 +1,5 @@
 //! GPU configurations: real-hardware presets and DSE transforms.
 
-use serde::{Deserialize, Serialize};
 
 /// A GPU (micro)architecture configuration.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// profiling machine), H100 and H200 (the cross-GPU portability pair,
 /// Fig. 13), and a small MacSim-like baseline used for full cycle-level
 /// simulation in the DSE study (Table 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Human-readable name.
     pub name: String,
@@ -187,7 +186,7 @@ impl GpuConfig {
 }
 
 /// The design-space-exploration transforms of Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DseTransform {
     /// Unmodified config.
     Baseline,

@@ -12,12 +12,11 @@ use crate::config::GpuConfig;
 use crate::sampled::WeightedSample;
 use crate::simulator::Simulator;
 use gpu_workload::{Invocation, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Activity-based energy coefficients (picojoules per event, watts for
 /// static power). Defaults are in the range published for recent NVIDIA
 /// parts (integer ops cheapest, FP32 a few pJ, DRAM tens of pJ per byte).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy per FP32 operation (pJ).
     pub pj_per_fp32: f64,

@@ -27,6 +27,10 @@
 //! launch-overhead terms. Runtime jitter is lognormal with a CoV that grows
 //! with the kernel's memory-boundedness under the *simulated* config.
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod dram;

@@ -11,10 +11,9 @@
 use crate::config::GpuConfig;
 use crate::exec::{time_kernel, SimOptions};
 use gpu_workload::chakra::{EtOp, ExecutionTrace};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a multi-GPU node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Per-GPU configuration.
     pub gpu: GpuConfig,
@@ -234,7 +233,7 @@ mod tests {
                 .filter(|(_, n)| n.gpu == g || n.op.is_communication())
                 .map(|(i, _)| (run.starts[i], run.starts[i] + run.durations[i]))
                 .collect();
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
                 assert!(
                     w[1].0 >= w[0].1 - 1e-6,

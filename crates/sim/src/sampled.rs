@@ -3,11 +3,10 @@
 
 use crate::simulator::Simulator;
 use gpu_workload::Workload;
-use serde::{Deserialize, Serialize};
 
 /// One sampled invocation with the number of workload invocations it
 /// represents (its extrapolation weight).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedSample {
     /// Index into the workload's invocation stream.
     pub index: usize,
@@ -32,7 +31,7 @@ impl WeightedSample {
 }
 
 /// Result of a sampled simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampledRun {
     /// Weighted-sum estimate of the full workload's total cycles
     /// (`t_total` of Eq. (1)).

@@ -1,120 +1,148 @@
-//! Property-based tests for the GPU timing model.
+//! Property-style tests for the GPU timing model.
+//!
+//! Formerly `proptest`-based; rewritten as deterministic seeded-loop
+//! property tests so the workspace builds hermetically.
 
 use gpu_sim::exec::{time_kernel, SimOptions};
 use gpu_sim::{DseTransform, GpuConfig};
 use gpu_workload::kernel::{InstructionMix, KernelClassBuilder};
 use gpu_workload::{KernelClass, RuntimeContext};
-use proptest::prelude::*;
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
-fn kernel_strategy() -> impl Strategy<Value = KernelClass> {
-    (
-        1u32..2048,          // grid
-        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]), // block
-        16u32..128,          // regs
-        0u32..48,            // shared KiB
-        100u64..100_000,     // instr per thread
-        0usize..5,           // mix preset
-        20u64..34,           // footprint log2 (1 MiB .. 16 GiB)
-        1.0f64..32.0,        // reuse
-    )
-        .prop_map(|(grid, block, regs, shared_kib, instr, mix, fp_log2, reuse)| {
-            let mix = match mix {
-                0 => InstructionMix::compute_bound(),
-                1 => InstructionMix::tensor_core(),
-                2 => InstructionMix::memory_bound(),
-                3 => InstructionMix::streaming(),
-                _ => InstructionMix::irregular(),
-            };
-            KernelClassBuilder::new("prop")
-                .geometry(grid, block)
-                .resources(regs, shared_kib * 1024)
-                .instructions(instr)
-                .mix(mix)
-                .memory(1u64 << fp_log2, reuse)
-                .build()
-        })
+const CASES: u64 = 64;
+
+fn rng_for(test_tag: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x51D0_DE10 ^ (test_tag << 32) ^ case)
 }
 
-fn ctx_strategy() -> impl Strategy<Value = RuntimeContext> {
-    (0.1f64..8.0, 0.2f64..4.0, 0.1f64..6.0, 0.0f64..0.5).prop_map(
-        |(work, footprint, locality, jitter)| {
-            RuntimeContext::neutral()
-                .with_work(work)
-                .with_footprint(footprint)
-                .with_locality(locality)
-                .with_jitter(jitter)
-        },
-    )
+fn gen_kernel(rng: &mut StdRng) -> KernelClass {
+    let grid = rng.random_range(1u32..2048);
+    let block = [32u32, 64, 128, 256, 512, 1024][rng.random_range(0usize..6)];
+    let regs = rng.random_range(16u32..128);
+    let shared_kib = rng.random_range(0u32..48);
+    let instr = rng.random_range(100u64..100_000);
+    let mix = match rng.random_range(0usize..5) {
+        0 => InstructionMix::compute_bound(),
+        1 => InstructionMix::tensor_core(),
+        2 => InstructionMix::memory_bound(),
+        3 => InstructionMix::streaming(),
+        _ => InstructionMix::irregular(),
+    };
+    let fp_log2 = rng.random_range(20u64..34); // footprint 1 MiB .. 16 GiB
+    let reuse = rng.random_range(1.0..32.0);
+    KernelClassBuilder::new("prop")
+        .geometry(grid, block)
+        .resources(regs, shared_kib * 1024)
+        .instructions(instr)
+        .mix(mix)
+        .memory(1u64 << fp_log2, reuse)
+        .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_ctx(rng: &mut StdRng) -> RuntimeContext {
+    RuntimeContext::neutral()
+        .with_work(rng.random_range(0.1..8.0))
+        .with_footprint(rng.random_range(0.2..4.0))
+        .with_locality(rng.random_range(0.1..6.0))
+        .with_jitter(rng.random_range(0.0..0.5))
+}
 
-    /// Every timing output is finite, positive and internally consistent.
-    #[test]
-    fn timing_outputs_well_formed(
-        kernel in kernel_strategy(),
-        ctx in ctx_strategy(),
-        z in -4.0f64..4.0,
-    ) {
+/// Every timing output is finite, positive and internally consistent.
+#[test]
+fn timing_outputs_well_formed() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let kernel = gen_kernel(&mut rng);
+        let ctx = gen_ctx(&mut rng);
+        let z = rng.random_range(-4.0..4.0);
         for config in [GpuConfig::rtx2080(), GpuConfig::h100(), GpuConfig::macsim_baseline()] {
             let t = time_kernel(&kernel, &ctx, 1.0, z, &config, SimOptions::default());
-            prop_assert!(t.cycles.is_finite() && t.cycles > 0.0);
-            prop_assert!(t.compute_cycles >= 0.0 && t.memory_cycles >= 0.0);
-            prop_assert!(t.deterministic_cycles >= config.launch_overhead_cycles);
-            prop_assert!((0.0..=1.0).contains(&t.memory_boundedness));
-            prop_assert!((0.0..=1.0).contains(&t.l1_hit));
-            prop_assert!((0.0..=1.0).contains(&t.l2_hit));
-            prop_assert!(t.dram_bytes >= 0.0);
-            prop_assert!(t.occupancy.occupancy > 0.0 && t.occupancy.occupancy <= 1.0);
+            assert!(t.cycles.is_finite() && t.cycles > 0.0, "case {case}");
+            assert!(t.compute_cycles >= 0.0 && t.memory_cycles >= 0.0, "case {case}");
+            assert!(t.deterministic_cycles >= config.launch_overhead_cycles, "case {case}");
+            assert!((0.0..=1.0).contains(&t.memory_boundedness), "case {case}");
+            assert!((0.0..=1.0).contains(&t.l1_hit), "case {case}");
+            assert!((0.0..=1.0).contains(&t.l2_hit), "case {case}");
+            assert!(t.dram_bytes >= 0.0, "case {case}");
+            assert!(
+                t.occupancy.occupancy > 0.0 && t.occupancy.occupancy <= 1.0,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// More work never makes the deterministic time shorter.
-    #[test]
-    fn monotone_in_work(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+/// More work never makes the deterministic time shorter.
+#[test]
+fn monotone_in_work() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let kernel = gen_kernel(&mut rng);
+        let ctx = gen_ctx(&mut rng);
         let cfg = GpuConfig::rtx2080();
         let t1 = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
         let t2 = time_kernel(&kernel, &ctx, 2.0, 0.0, &cfg, SimOptions::default());
-        prop_assert!(t2.deterministic_cycles >= t1.deterministic_cycles);
+        assert!(t2.deterministic_cycles >= t1.deterministic_cycles, "case {case}");
     }
+}
 
-    /// A zero-jitter context has no randomness: z is irrelevant.
-    #[test]
-    fn zero_jitter_ignores_z(kernel in kernel_strategy(), z in -4.0f64..4.0) {
+/// A zero-jitter context has no randomness: z is irrelevant.
+#[test]
+fn zero_jitter_ignores_z() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let kernel = gen_kernel(&mut rng);
+        let z = rng.random_range(-4.0..4.0);
         let cfg = GpuConfig::rtx2080();
         let ctx = RuntimeContext::neutral().with_jitter(0.0);
         let a = time_kernel(&kernel, &ctx, 1.0, z, &cfg, SimOptions::default());
         let b = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
-        prop_assert!((a.cycles - b.cycles).abs() < 1e-9 * b.cycles.max(1.0));
+        assert!((a.cycles - b.cycles).abs() < 1e-9 * b.cycles.max(1.0), "case {case}");
     }
+}
 
-    /// Doubling SMs never slows a kernel down (deterministic part).
-    #[test]
-    fn more_sms_never_slower(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+/// Doubling SMs never slows a kernel down (deterministic part).
+#[test]
+fn more_sms_never_slower() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let kernel = gen_kernel(&mut rng);
+        let ctx = gen_ctx(&mut rng);
         let base = GpuConfig::macsim_baseline();
         let big = base.with_transform(DseTransform::SmScale(2.0));
         let t_base = time_kernel(&kernel, &ctx, 1.0, 0.0, &base, SimOptions::default());
         let t_big = time_kernel(&kernel, &ctx, 1.0, 0.0, &big, SimOptions::default());
-        prop_assert!(
+        assert!(
             t_big.deterministic_cycles <= t_base.deterministic_cycles * (1.0 + 1e-9),
-            "{} vs {}", t_big.deterministic_cycles, t_base.deterministic_cycles
+            "case {case}: {} vs {}",
+            t_big.deterministic_cycles,
+            t_base.deterministic_cycles
         );
     }
+}
 
-    /// Growing the caches never increases DRAM traffic.
-    #[test]
-    fn bigger_cache_never_more_dram(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+/// Growing the caches never increases DRAM traffic.
+#[test]
+fn bigger_cache_never_more_dram() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let kernel = gen_kernel(&mut rng);
+        let ctx = gen_ctx(&mut rng);
         let base = GpuConfig::macsim_baseline();
         let big = base.with_transform(DseTransform::CacheScale(2.0));
         let t_base = time_kernel(&kernel, &ctx, 1.0, 0.0, &base, SimOptions::default());
         let t_big = time_kernel(&kernel, &ctx, 1.0, 0.0, &big, SimOptions::default());
-        prop_assert!(t_big.dram_bytes <= t_base.dram_bytes * (1.0 + 1e-9));
+        assert!(t_big.dram_bytes <= t_base.dram_bytes * (1.0 + 1e-9), "case {case}");
     }
+}
 
-    /// The flush mode never makes a kernel faster.
-    #[test]
-    fn flush_never_faster(kernel in kernel_strategy(), ctx in ctx_strategy()) {
+/// The flush mode never makes a kernel faster.
+#[test]
+fn flush_never_faster() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let kernel = gen_kernel(&mut rng);
+        let ctx = gen_ctx(&mut rng);
         let cfg = GpuConfig::rtx2080();
         let normal = time_kernel(&kernel, &ctx, 1.0, 0.0, &cfg, SimOptions::default());
         let flushed = time_kernel(
@@ -125,17 +153,28 @@ proptest! {
             &cfg,
             SimOptions { flush_l2_between_kernels: true, ..SimOptions::default() },
         );
-        prop_assert!(flushed.deterministic_cycles >= normal.deterministic_cycles * (1.0 - 1e-9));
+        assert!(
+            flushed.deterministic_cycles >= normal.deterministic_cycles * (1.0 - 1e-9),
+            "case {case}"
+        );
     }
+}
 
-    /// Better locality never increases the deterministic time.
-    #[test]
-    fn locality_never_hurts(kernel in kernel_strategy(), boost in 1.0f64..6.0) {
+/// Better locality never increases the deterministic time.
+#[test]
+fn locality_never_hurts() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let kernel = gen_kernel(&mut rng);
+        let boost = rng.random_range(1.0..6.0);
         let cfg = GpuConfig::rtx2080();
         let cold = RuntimeContext::neutral().with_locality(1.0);
         let warm = RuntimeContext::neutral().with_locality(boost);
         let t_cold = time_kernel(&kernel, &cold, 1.0, 0.0, &cfg, SimOptions::default());
         let t_warm = time_kernel(&kernel, &warm, 1.0, 0.0, &cfg, SimOptions::default());
-        prop_assert!(t_warm.deterministic_cycles <= t_cold.deterministic_cycles * (1.0 + 1e-9));
+        assert!(
+            t_warm.deterministic_cycles <= t_cold.deterministic_cycles * (1.0 + 1e-9),
+            "case {case}"
+        );
     }
 }

@@ -6,7 +6,6 @@
 //! histograms, renders them as ASCII (for the `repro fig1` harness) and
 //! counts local maxima as a peak diagnostic.
 
-use serde::{Deserialize, Serialize};
 
 /// A fixed-bin-width histogram over `f64` observations.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.total(), 5);
 /// assert_eq!(h.peak_count(0.2), 2); // bimodal
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -45,7 +45,7 @@ impl Kde {
         let summary: crate::Summary = samples.iter().copied().collect();
         let sigma = summary.population_std_dev();
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let iqr = crate::quantile::quantile_sorted(&sorted, 0.75)
             - crate::quantile::quantile_sorted(&sorted, 0.25);
         let spread = if iqr > 0.0 {

@@ -32,10 +32,9 @@
 //!   the residual error budget — the standard capped Neyman-allocation
 //!   iteration. This situation is common in small Rodinia-style workloads.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-cluster statistics consumed by the solver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterStat {
     /// Number of invocations in the cluster (`N_i`).
     pub n: u64,
@@ -71,7 +70,7 @@ impl ClusterStat {
 }
 
 /// Result of the joint optimization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KktSolution {
     /// Optimal sample size per cluster, aligned with the input order.
     pub sizes: Vec<u64>,

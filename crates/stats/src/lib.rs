@@ -40,6 +40,10 @@
 //! assert_eq!(m, 246); // ceil((1.96 * 0.4 / 0.05)^2)
 //! ```
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod bound;
 pub mod clt;
 pub mod histogram;
@@ -48,6 +52,7 @@ pub mod kkt;
 pub mod normal;
 pub mod p2;
 pub mod quantile;
+pub mod rng;
 pub mod student_t;
 pub mod summary;
 

@@ -7,7 +7,6 @@
 //! diagnostics (median/IQR summaries in dashboards, Sieve-style spread
 //! checks) when the full time vector is not retained.
 
-use serde::{Deserialize, Serialize};
 
 /// A streaming estimator of one quantile.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let est = median.estimate().expect("enough samples");
 /// assert!((est - 501.0).abs() < 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     p: f64,
     /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
@@ -81,7 +80,7 @@ impl P2Quantile {
             self.initial.push(x);
             if self.initial.len() == 5 {
                 self.initial
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    .sort_by(f64::total_cmp);
                 for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
                     *h = v;
                 }
@@ -157,7 +156,7 @@ impl P2Quantile {
         }
         if self.initial.len() < 5 {
             let mut v = self.initial.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v.sort_by(f64::total_cmp);
             return Some(crate::quantile::quantile_sorted(&v, self.p));
         }
         Some(self.heights[2])

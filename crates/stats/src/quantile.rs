@@ -40,7 +40,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Panics if `values` is empty, `q` is outside `[0, 1]`, or values are NaN.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    v.sort_by(f64::total_cmp);
     quantile_sorted(&v, q)
 }
 

@@ -7,7 +7,6 @@
 //! al.) so that summaries can be computed over millions of kernel invocations
 //! without holding them in memory, and combined across sub-clusters.
 
-use serde::{Deserialize, Serialize};
 
 /// A running summary of a stream of `f64` observations.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

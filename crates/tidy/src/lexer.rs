@@ -1,0 +1,275 @@
+//! A minimal line-oriented Rust "lexer" for lint scanning.
+//!
+//! Not a parser: it only separates each line into *code* (with comment and
+//! string/char-literal contents blanked out) and *comment text*, and tracks
+//! which lines fall inside `#[cfg(test)]` / `#[test]` regions by brace
+//! counting. That is exactly enough for pattern-based rules to avoid false
+//! positives from doc comments and string literals, without pulling a real
+//! parser (`syn`) into the workspace.
+
+/// One source line, split into scannable channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and string/char literal bodies blanked.
+    pub code: String,
+    /// Concatenated comment text on this line (line, block and doc).
+    pub comment: String,
+    /// Whether the line is inside (or is the attribute introducing) a
+    /// `#[cfg(test)]` module or `#[test]` function.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Split `source` into per-line code/comment channels and mark test regions.
+pub fn analyze(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Normal;
+
+    for raw in source.lines() {
+        let mut line = Line::default();
+        // Block comments and (raw) strings continue across lines; keep state.
+        if matches!(state, State::LineComment) {
+            state = State::Normal;
+        }
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        line.comment.push_str(&raw[char_byte(raw, i)..]);
+                        state = State::LineComment;
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, skip) = raw_string_open(&chars, i);
+                        state = State::RawStr(hashes);
+                        line.code.push('"');
+                        i += skip;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str;
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            line.code.push('\'');
+                            state = State::Char;
+                        }
+                        // else: a lifetime; drop the quote, keep going.
+                    }
+                    _ => line.code.push(c),
+                },
+                State::LineComment => unreachable!("handled at line start"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Normal
+                        };
+                        i += 1;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 1;
+                    } else {
+                        line.comment.push(c);
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 1; // skip escaped char
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Normal;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        line.code.push('"');
+                        state = State::Normal;
+                        i += hashes as usize;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        i += 1;
+                    } else if c == '\'' {
+                        line.code.push('\'');
+                        state = State::Normal;
+                    }
+                }
+            }
+            i += 1;
+        }
+        lines.push(line);
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn char_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// `r"`, `r#"`, `br"`, `b"` is NOT raw (plain byte string handled as Str via
+/// its quote) — only forms with `r` count here.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let rest = &chars[i..];
+    match rest {
+        ['r', '"', ..] => true,
+        ['r', '#', ..] => raw_hash_run(&rest[1..]).is_some(),
+        ['b', 'r', '"', ..] => true,
+        ['b', 'r', '#', ..] => raw_hash_run(&rest[2..]).is_some(),
+        _ => false,
+    }
+}
+
+/// Count `#` run followed by `"`. Returns hash count if well-formed.
+fn raw_hash_run(rest: &[char]) -> Option<u32> {
+    let hashes = rest.iter().take_while(|&&c| c == '#').count();
+    (rest.get(hashes) == Some(&'"')).then_some(hashes as u32)
+}
+
+/// Returns (hash count, chars to skip beyond current) for a raw-string open.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let prefix = if chars[i] == 'b' { 2 } else { 1 }; // br / r
+    let hashes = raw_hash_run(&chars[i + prefix..]).unwrap_or(0);
+    (hashes, prefix + hashes as usize) // lands on the opening quote
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    let h = hashes as usize;
+    chars[i + 1..].len() >= h && chars[i + 1..i + 1 + h].iter().all(|&c| c == '#')
+}
+
+/// Distinguish `'a'` / `'\n'` char literals from `'lifetime`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]` items and `#[test]` functions.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false; // saw the attribute, waiting for the item's `{`
+    let mut region_entry: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if region_entry.is_some() || pending {
+            line.in_test = true;
+        }
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            line.in_test = true;
+            if region_entry.is_none() {
+                pending = true;
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_entry = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_entry == Some(depth) {
+                        region_entry = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if region_entry.is_some() {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let src = "let x = 1; // unwrap() in comment\n/// doc unwrap()\nfn f() {}\n";
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap"));
+        assert!(lines[1].code.is_empty());
+        assert!(lines[2].code.contains("fn f()"));
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let src = r#"let s = "thread_rng() inside string"; s.len();"#;
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains("s.len()"));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(raw)\"#; let c = 'x'; let lt: &'static str = \"y\";\n";
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].code.contains("let c ="));
+        assert!(lines[0].code.contains("static")); // lifetime survives as code
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "a();\n/* unwrap()\n still comment */ b();\n";
+        let lines = analyze(src);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("b()"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = analyze(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attribute_function_marked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    body();\n}\nfn b() {}\n";
+        let lines = analyze(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

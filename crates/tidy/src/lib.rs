@@ -1,0 +1,265 @@
+//! `stem-tidy` — a zero-dependency, rustc-`tidy`-style static-analysis pass
+//! over the STEM+ROOT workspace.
+//!
+//! Walks every `.rs` and `Cargo.toml` under a root and enforces the
+//! project invariants documented in `DESIGN.md` ("Hermetic build & lint
+//! invariants"): hermetic path-only dependencies, seeded-RNG-only
+//! randomness, no `unwrap()`/`expect()` or debug prints in library code, no
+//! bare float equality, no `panic!` family on hot paths, lint headers in
+//! every `lib.rs`, and file-length/marker hygiene. Diagnostics are
+//! `file:line` lines plus one machine-readable JSON summary.
+//!
+//! The pass runs from tier-1 CI (`ci.sh`, and a `#[test]` in
+//! `tests/workspace_clean.rs` that shells out to it), so every PR is
+//! linted. Per-file exemptions live in `crates/tidy/allowlist.toml` and
+//! require a written justification; stale entries are themselves errors.
+
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use allowlist::Allowlist;
+pub use rules::Violation;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
+
+/// Outcome of a full scan.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Files examined (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+    /// Violations that survived the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations excused by the allowlist.
+    pub allowed: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render each violation as `path:line: [rule] message`.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
+            .collect()
+    }
+
+    /// One-line machine-readable JSON summary, e.g.
+    /// `{"files_scanned":163,"violations":2,"allowed":5,"rules":{"no-unwrap":2}}`.
+    pub fn summary_json(&self) -> String {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *per_rule.entry(v.rule).or_default() += 1;
+        }
+        let rules: Vec<String> = per_rule
+            .iter()
+            .map(|(rule, count)| format!("\"{rule}\":{count}"))
+            .collect();
+        format!(
+            "{{\"files_scanned\":{},\"violations\":{},\"allowed\":{},\"rules\":{{{}}}}}",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed,
+            rules.join(",")
+        )
+    }
+}
+
+/// Scan the workspace at `root` with `allowlist`, returning every
+/// diagnostic. IO errors on individual files become violations (rule
+/// `hygiene`) rather than aborting the pass.
+pub fn scan(root: &Path, allowlist: &Allowlist) -> Report {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files);
+    files.sort();
+
+    let mut report = Report::default();
+    let mut scanned_paths: Vec<String> = Vec::new();
+    for rel in &files {
+        let abs = root.join(rel);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        scanned_paths.push(rel_str.clone());
+        let Ok(text) = fs::read_to_string(&abs) else {
+            report.violations.push(Violation {
+                path: rel_str,
+                line: 0,
+                rule: rules::HYGIENE,
+                message: "unreadable file".to_string(),
+            });
+            continue;
+        };
+        report.files_scanned += 1;
+        let found = if rel_str.ends_with("Cargo.toml") {
+            rules::check_manifest(&rel_str, &text)
+        } else {
+            rules::check_rust_file(&rel_str, &lexer::analyze(&text))
+        };
+        for v in found {
+            if allowlist.allows(v.rule, &v.path) {
+                report.allowed += 1;
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+
+    // An allowlist entry that excuses nothing is rot: either the file was
+    // fixed (drop the entry) or renamed (update it).
+    for (rule, path, _) in allowlist.entries() {
+        if !scanned_paths.iter().any(|p| p == path) {
+            report.violations.push(Violation {
+                path: path.to_string(),
+                line: 0,
+                rule: rules::HYGIENE,
+                message: format!("stale allowlist entry for rule `{rule}`: file not found in scan"),
+            });
+        }
+    }
+
+    report
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, out);
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Load the allowlist that ships with the workspace being scanned, if any.
+pub fn load_workspace_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("crates/tidy/allowlist.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Ok(Allowlist::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Build a throwaway workspace tree under the OS temp dir, run a scan,
+    /// clean up, return the report. Each rule's self-test seeds one
+    /// deliberate violation this way.
+    fn scan_tree(tag: &str, files: &[(&str, &str)], allow: &str) -> Report {
+        let root = std::env::temp_dir().join(format!("stem-tidy-selftest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for (rel, content) in files {
+            let abs = root.join(rel);
+            fs::create_dir_all(abs.parent().expect("has parent")).expect("mkdir");
+            fs::write(&abs, content).expect("write fixture");
+        }
+        let allowlist = Allowlist::parse(allow).expect("allowlist parses");
+        let report = scan(&root, &allowlist);
+        let _ = fs::remove_dir_all(&root);
+        report
+    }
+
+    #[test]
+    fn clean_tree_reports_clean() {
+        let r = scan_tree(
+            "clean",
+            &[(
+                "crates/core/src/lib.rs",
+                "#![deny(missing_debug_implementations)]\n#![forbid(unsafe_code)]\npub fn ok() {}\n",
+            )],
+            "",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+        assert_eq!(r.files_scanned, 1);
+    }
+
+    #[test]
+    fn seeded_violations_each_rule_flagged() {
+        let r = scan_tree(
+            "seeded",
+            &[
+                ("Cargo.toml", "[dependencies]\nrand = \"0.8\"\n"),
+                (
+                    "crates/core/src/bad.rs",
+                    "fn f() { let r = thread_rng(); x.unwrap(); if y == 0.5 { panic!(\"no\") } println!(\"dbg\") } // FI\u{58}ME\n",
+                ),
+                ("crates/core/src/lib.rs", "pub mod bad;\n"),
+            ],
+            "",
+        );
+        let rules_hit: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        for expected in [
+            rules::HERMETIC_DEPS,
+            rules::NO_ENTROPY_RNG,
+            rules::NO_UNWRAP,
+            rules::NO_FLOAT_EQ,
+            rules::NO_PANIC,
+            rules::NO_DEBUG_PRINT,
+            rules::HYGIENE,
+            rules::LINT_HEADERS,
+        ] {
+            assert!(rules_hit.contains(&expected), "missing {expected}: {rules_hit:?}");
+        }
+        // Diagnostics carry file:line.
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.starts_with("crates/core/src/bad.rs:1:")));
+    }
+
+    #[test]
+    fn allowlist_excuses_and_counts() {
+        let files = [("crates/core/src/bad.rs", "fn f() { x.unwrap(); }\n")];
+        let dirty = scan_tree("allow-a", &files, "");
+        assert_eq!(dirty.violations.len(), 1);
+        let clean = scan_tree(
+            "allow-b",
+            &files,
+            "[no-unwrap]\n\"crates/core/src/bad.rs\" = \"self-test exemption\"\n",
+        );
+        assert!(clean.is_clean(), "{:?}", clean.diagnostics());
+        assert_eq!(clean.allowed, 1);
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_flagged() {
+        let r = scan_tree(
+            "stale",
+            &[("crates/core/src/ok.rs", "fn f() {}\n")],
+            "[no-unwrap]\n\"crates/core/src/gone.rs\" = \"file was deleted\"\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].message.contains("stale allowlist"));
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let r = scan_tree("json", &[("crates/core/src/bad.rs", "fn f() { x.unwrap(); }\n")], "");
+        let json = r.summary_json();
+        assert!(json.starts_with("{\"files_scanned\":1,\"violations\":1,\"allowed\":0"), "{json}");
+        assert!(json.contains("\"no-unwrap\":1"), "{json}");
+    }
+}

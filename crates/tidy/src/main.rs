@@ -1,0 +1,93 @@
+//! `stem-tidy` CLI.
+//!
+//! Usage: `stem-tidy [ROOT] [--allowlist PATH]`
+//!
+//! ROOT defaults to the workspace root containing this crate (derived from
+//! `CARGO_MANIFEST_DIR` at compile time) so `cargo run -p stem-tidy` "just
+//! works" from anywhere inside the repo. Exit codes: 0 clean, 1 violations
+//! found, 2 usage / allowlist errors.
+
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stem_tidy::{load_workspace_allowlist, scan, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allowlist" => {
+                let Some(p) = args.next() else {
+                    eprintln!("stem-tidy: --allowlist requires a path");
+                    return ExitCode::from(2);
+                };
+                allowlist_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                println!("usage: stem-tidy [ROOT] [--allowlist PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("stem-tidy: unrecognised argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: two levels up from crates/tidy.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let allowlist = match &allowlist_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("stem-tidy: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("stem-tidy: cannot read {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match load_workspace_allowlist(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("stem-tidy: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = scan(&root, &allowlist);
+    for diag in report.diagnostics() {
+        println!("{diag}");
+    }
+    println!("{}", report.summary_json());
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "stem-tidy: {} violation(s) in {} file(s) scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

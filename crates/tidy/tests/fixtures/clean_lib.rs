@@ -1,0 +1,6 @@
+//! Fixture: a fully compliant `lib.rs`.
+
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

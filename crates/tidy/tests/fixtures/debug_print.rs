@@ -1,0 +1,5 @@
+// Fixture: seeds `no-debug-print` violations in library code.
+pub fn noisy(x: u64) -> u64 {
+    println!("x = {x}");
+    dbg!(x)
+}

@@ -1,0 +1,5 @@
+// Fixture: seeds a `no-entropy-rng` violation (and nothing else).
+pub fn roll() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}

@@ -1,0 +1,9 @@
+// Fixture: seeds one `no-float-eq` violation; the epsilon compare and the
+// integer compare must NOT be flagged.
+pub fn bad(x: f64) -> bool {
+    x == 0.25
+}
+
+pub fn fine(x: f64, n: u64) -> bool {
+    (x - 0.25).abs() < 1e-12 && n == 3
+}

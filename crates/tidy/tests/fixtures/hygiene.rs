@@ -1,0 +1,3 @@
+// Fixture: seeds a `hygiene` violation via a tracked-work marker.
+// TODO: fixture marker that the pass must report.
+pub fn nothing() {}

@@ -1,0 +1,3 @@
+//! Fixture: a `lib.rs` missing the workspace lint headers
+//! (`lint-headers` violation).
+pub fn nothing() {}

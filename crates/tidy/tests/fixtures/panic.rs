@@ -1,0 +1,8 @@
+// Fixture: seeds `no-panic` violations on a hot-path crate.
+pub fn explode() {
+    panic!("fixture");
+}
+
+pub fn later() {
+    todo!("fixture")
+}

@@ -1,0 +1,18 @@
+// Fixture: seeds two `no-unwrap` violations; the test-region one must NOT
+// be flagged.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn must(o: Option<u64>) -> u64 {
+    o.expect("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_test_is_fine() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Golden-diagnostics test: copy the fixtures into a synthetic workspace
+//! tree, run the pass, and compare the exact (path, line, rule) set. Also
+//! proves the allowlist excuses exactly what it names, and nothing else.
+//!
+//! Fixtures live under `tests/fixtures/`, a directory name the walker
+//! skips, so scanning the real repository never sees them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use stem_tidy::{scan, Allowlist};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+/// Materialize `(workspace-relative path, fixture name)` pairs under a
+/// scratch root and return it.
+fn build_tree(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("stem-tidy-golden-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, name) in files {
+        let abs = root.join(rel);
+        fs::create_dir_all(abs.parent().expect("has parent")).expect("mkdir");
+        fs::write(&abs, fixture(name)).expect("write");
+    }
+    root
+}
+
+const TREE: [(&str, &str); 9] = [
+    ("crates/core/src/entropy.rs", "entropy.rs"),
+    ("crates/core/src/unwrap.rs", "unwrap.rs"),
+    ("crates/sim/src/float_eq.rs", "float_eq.rs"),
+    ("crates/stats/src/panic.rs", "panic.rs"),
+    ("crates/cluster/src/debug_print.rs", "debug_print.rs"),
+    ("crates/workload/src/lib.rs", "no_headers_lib.rs"),
+    ("crates/profile/src/lib.rs", "clean_lib.rs"),
+    ("crates/baselines/src/hygiene.rs", "hygiene.rs"),
+    ("crates/core/Cargo.toml", "bad_manifest.toml"),
+];
+
+#[test]
+fn fixtures_produce_exactly_the_golden_diagnostics() {
+    let root = build_tree("all", &TREE);
+    let report = scan(&root, &Allowlist::default());
+    let _ = fs::remove_dir_all(&root);
+
+    let mut got: Vec<(String, usize, &str)> = report
+        .violations
+        .iter()
+        .map(|v| (v.path.clone(), v.line, v.rule))
+        .collect();
+    got.sort();
+
+    let mut want: Vec<(String, usize, &str)> = vec![
+        ("crates/baselines/src/hygiene.rs".into(), 2, "hygiene"),
+        ("crates/cluster/src/debug_print.rs".into(), 3, "no-debug-print"),
+        ("crates/cluster/src/debug_print.rs".into(), 4, "no-debug-print"),
+        ("crates/core/Cargo.toml".into(), 6, "hermetic-deps"),
+        ("crates/core/Cargo.toml".into(), 7, "hermetic-deps"),
+        ("crates/core/Cargo.toml".into(), 11, "hermetic-deps"),
+        ("crates/core/src/entropy.rs".into(), 3, "no-entropy-rng"),
+        ("crates/core/src/unwrap.rs".into(), 4, "no-unwrap"),
+        ("crates/core/src/unwrap.rs".into(), 8, "no-unwrap"),
+        ("crates/sim/src/float_eq.rs".into(), 4, "no-float-eq"),
+        ("crates/stats/src/panic.rs".into(), 3, "no-panic"),
+        ("crates/stats/src/panic.rs".into(), 7, "no-panic"),
+        ("crates/workload/src/lib.rs".into(), 0, "lint-headers"),
+        ("crates/workload/src/lib.rs".into(), 0, "lint-headers"),
+    ];
+    want.sort();
+
+    assert_eq!(got, want, "diagnostics:\n{}", report.diagnostics().join("\n"));
+    assert_eq!(report.files_scanned, TREE.len());
+}
+
+#[test]
+fn allowlist_excuses_named_files_only() {
+    let root = build_tree("allow", &TREE);
+    let allow = Allowlist::parse(concat!(
+        "[no-unwrap]\n",
+        "\"crates/core/src/unwrap.rs\" = \"fixture invariants hold\"\n",
+        "[no-panic]\n",
+        "\"crates/stats/src/panic.rs\" = \"fixture exemption\"\n",
+    ))
+    .expect("allowlist parses");
+    let report = scan(&root, &allow);
+    let _ = fs::remove_dir_all(&root);
+
+    assert_eq!(report.allowed, 4, "2 unwraps + 2 panics excused");
+    assert!(
+        !report
+            .violations
+            .iter()
+            .any(|v| v.rule == "no-unwrap" || v.rule == "no-panic"),
+        "allowlisted rules still reported:\n{}",
+        report.diagnostics().join("\n")
+    );
+    // Everything else still fires.
+    assert!(report.violations.iter().any(|v| v.rule == "hermetic-deps"));
+    assert!(report.violations.iter().any(|v| v.rule == "no-float-eq"));
+}

@@ -9,8 +9,7 @@ use crate::context::{ContextSchedule, RuntimeContext};
 use crate::invocation::{Invocation, KernelId};
 use crate::kernel::KernelClass;
 use crate::trace::{SuiteKind, Workload};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
 /// Builder for [`Workload`].
 ///

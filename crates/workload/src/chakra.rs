@@ -16,12 +16,10 @@
 use crate::context::RuntimeContext;
 use crate::invocation::KernelId;
 use crate::kernel::KernelClass;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
 /// The operator performed by one ET node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EtOp {
     /// A kernel launch on one GPU.
     Compute {
@@ -56,7 +54,7 @@ impl EtOp {
 }
 
 /// One node of the execution trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EtNode {
     /// The operator.
     pub op: EtOp,
@@ -72,7 +70,7 @@ pub struct EtNode {
 }
 
 /// A multi-GPU workload as a DAG of operators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionTrace {
     name: String,
     num_gpus: u8,
@@ -361,9 +359,11 @@ pub fn pipeline_parallel_inference(
     for _mb in 0..microbatches {
         let mut carry: Option<u32> = None;
         for stage in 0..num_gpus {
-            // Inter-stage activation transfer.
-            if stage > 0 {
-                let mut deps = vec![carry.expect("previous stage produced output")];
+            // Inter-stage activation transfer. `carry` is always `Some` at
+            // stage > 0 when layers_per_stage >= 1 (the previous stage's
+            // layer loop set it); with zero layers there is nothing to ship.
+            if let Some(prev) = carry.filter(|_| stage > 0) {
+                let mut deps = vec![prev];
                 if let Some(t) = gpu_tail[stage as usize] {
                     deps.push(t);
                 }

@@ -10,10 +10,9 @@
 //! one histogram peak; several contexts produce the multi-modal histograms
 //! of Figure 1.
 
-use serde::{Deserialize, Serialize};
 
 /// One runtime usage pattern of a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeContext {
     /// Multiplies the kernel's per-thread instruction count.
     pub work_scale: f64,
@@ -90,7 +89,7 @@ impl Default for RuntimeContext {
 }
 
 /// How invocations cycle through a kernel's contexts over the workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ContextSchedule {
     /// Each invocation draws a context at random with the given weights
     /// (the common case for batched ML workloads).

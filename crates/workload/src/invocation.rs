@@ -8,11 +8,10 @@
 //! execution observed on different hardware — which is what makes the DSE
 //! and cross-GPU experiments meaningful.
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a kernel class within its workload's kernel table.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct KernelId(pub u32);
 
@@ -36,7 +35,7 @@ impl std::fmt::Display for KernelId {
 }
 
 /// One kernel launch in the workload's command stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Invocation {
     /// Which kernel class was launched.
     pub kernel: KernelId,

@@ -5,10 +5,9 @@
 //! memory footprint and the basic-block vector template. Runtime variation
 //! lives in [`crate::context`].
 
-use serde::{Deserialize, Serialize};
 
 /// Fractions of the dynamic instruction stream by class. Must sum to 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstructionMix {
     /// 32-bit floating point (FMA counted once).
     pub fp32: f64,
@@ -117,7 +116,7 @@ impl InstructionMix {
 
 /// Static description of a GPU kernel: the information a binary-analysis
 /// profiler (NVBit, NCU) could extract without running it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelClass {
     /// Mangled-ish kernel name, e.g. `sgemm_128x64_nn`.
     pub name: String,

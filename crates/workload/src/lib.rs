@@ -27,6 +27,10 @@
 //! the same invocation can be "run" on different (micro)architectures — the
 //! mechanism behind the paper's DSE and H100→H200 experiments.
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod chakra;
 pub mod context;

@@ -7,13 +7,12 @@
 //! model, and Figure 14 compares full-workload sums against weighted
 //! sampled estimates.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of metrics collected (the paper's 13).
 pub const METRIC_COUNT: usize = 13;
 
 /// The four metric categories of Sec. 5.5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricCategory {
     /// Shared/global memory access patterns.
     MemoryAccess,
@@ -26,7 +25,7 @@ pub enum MetricCategory {
 }
 
 /// The 13 collected metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum MetricKind {
     /// Global load transactions.
@@ -134,7 +133,7 @@ impl std::fmt::Display for MetricKind {
 }
 
 /// A per-invocation metric vector, indexed by [`MetricKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricVector(pub [f64; METRIC_COUNT]);
 
 impl MetricVector {

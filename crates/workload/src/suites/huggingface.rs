@@ -15,10 +15,9 @@ use crate::trace::{SuiteKind, Workload};
 use super::ml::{self, GemmSize};
 
 /// Scale factor for the HuggingFace suite.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HuggingfaceScale(f64);
 
-use serde::{Deserialize, Serialize};
 
 impl HuggingfaceScale {
     /// Paper scale: ~11.6M calls per workload on average.

@@ -4,12 +4,11 @@
 use crate::context::RuntimeContext;
 use crate::invocation::{Invocation, KernelId};
 use crate::kernel::KernelClass;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which benchmark suite a workload belongs to (drives evaluation
 /// aggregation and default sampling rates for the Random baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteKind {
     /// Small irregular GPGPU/HPC workloads (Rodinia 3.1).
     Rodinia,
@@ -34,7 +33,7 @@ impl std::fmt::Display for SuiteKind {
 }
 
 /// A complete GPU workload as seen by a kernel-level sampler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     name: String,
     suite: SuiteKind,

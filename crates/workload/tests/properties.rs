@@ -1,37 +1,46 @@
-//! Property-based tests for the workload substrate.
+//! Property-style tests for the workload substrate.
+//!
+//! Formerly `proptest`-based; rewritten as deterministic seeded-loop
+//! property tests so the workspace builds hermetically.
 
 use gpu_workload::kernel::KernelClassBuilder;
 use gpu_workload::suites::{casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale};
 use gpu_workload::{ContextSchedule, RuntimeContext, SuiteKind, WorkloadBuilder};
-use proptest::prelude::*;
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+fn rng_for(test_tag: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x3093_10AD ^ (test_tag << 32) ^ case)
+}
 
-    /// Any suite seed yields structurally valid workloads (Workload::new
-    /// validates on construction; this exercises generator edge seeds).
-    #[test]
-    fn suites_valid_for_any_seed(seed in 0u64..10_000) {
+/// Any suite seed yields structurally valid workloads (Workload::new
+/// validates on construction; this exercises generator edge seeds).
+#[test]
+fn suites_valid_for_any_seed() {
+    for case in 0..10 {
+        let mut rng = rng_for(1, case);
+        let seed = rng.random_range(0u64..10_000);
         let rodinia = rodinia_suite(seed);
-        prop_assert_eq!(rodinia.len(), 13);
+        assert_eq!(rodinia.len(), 13, "case {case}");
         for w in &rodinia {
-            prop_assert!(w.num_invocations() > 0);
-            prop_assert_eq!(w.suite(), SuiteKind::Rodinia);
+            assert!(w.num_invocations() > 0, "case {case}");
+            assert_eq!(w.suite(), SuiteKind::Rodinia, "case {case}");
         }
         // One CASIO workload per run keeps the test quick.
         let casio = casio_suite(seed);
-        prop_assert_eq!(casio.len(), 11);
+        assert_eq!(casio.len(), 11, "case {case}");
     }
+}
 
-    /// Builder schedules always produce the requested invocation counts
-    /// with in-range context indices.
-    #[test]
-    fn schedules_produce_exact_counts(
-        seed in 0u64..1000,
-        contexts in 1usize..6,
-        count in 1usize..400,
-        variant in 0u8..3,
-    ) {
+/// Builder schedules always produce the requested invocation counts
+/// with in-range context indices.
+#[test]
+fn schedules_produce_exact_counts() {
+    for case in 0..48 {
+        let mut rng = rng_for(2, case);
+        let seed = rng.random_range(0u64..1000);
+        let contexts = rng.random_range(1usize..6);
+        let count = rng.random_range(1usize..400);
+        let variant = case % 3;
         let mut b = WorkloadBuilder::new("p", SuiteKind::Custom, seed);
         let ctxs: Vec<RuntimeContext> = (0..contexts)
             .map(|i| RuntimeContext::neutral().with_work(1.0 + i as f64 * 0.5))
@@ -40,23 +49,26 @@ proptest! {
         let schedule = match variant {
             0 => ContextSchedule::Cyclic,
             1 => ContextSchedule::Weighted(vec![1.0; contexts]),
-            _ => ContextSchedule::Phased(
-                (0..contexts).map(|c| (c, 2)).collect(),
-            ),
+            _ => ContextSchedule::Phased((0..contexts).map(|c| (c, 2)).collect()),
         };
         b.schedule(id, &schedule, count);
         let w = b.build();
-        prop_assert_eq!(w.num_invocations(), count);
+        assert_eq!(w.num_invocations(), count, "case {case}");
         for inv in w.invocations() {
-            prop_assert!((inv.context as usize) < contexts);
-            prop_assert!(inv.work_scale > 0.0);
-            prop_assert!(inv.noise_z.is_finite());
+            assert!((inv.context as usize) < contexts, "case {case}");
+            assert!(inv.work_scale > 0.0, "case {case}");
+            assert!(inv.noise_z.is_finite(), "case {case}");
         }
     }
+}
 
-    /// invocations_by_kernel partitions the stream and preserves order.
-    #[test]
-    fn grouping_partitions_stream(seed in 0u64..1000, n in 1usize..200) {
+/// invocations_by_kernel partitions the stream and preserves order.
+#[test]
+fn grouping_partitions_stream() {
+    for case in 0..48 {
+        let mut rng = rng_for(3, case);
+        let seed = rng.random_range(0u64..1000);
+        let n = rng.random_range(1usize..200);
         let mut b = WorkloadBuilder::new("p", SuiteKind::Custom, seed);
         let a = b.add_kernel(
             KernelClassBuilder::new("a").build(),
@@ -72,17 +84,21 @@ proptest! {
         let w = b.build();
         let groups = w.invocations_by_kernel();
         let total: usize = groups.values().map(Vec::len).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n, "case {case}");
         for members in groups.values() {
             for pair in members.windows(2) {
-                prop_assert!(pair[1] > pair[0], "stream order preserved");
+                assert!(pair[1] > pair[0], "case {case}: stream order preserved");
             }
         }
     }
+}
 
-    /// HuggingFace scale controls the invocation count monotonically.
-    #[test]
-    fn hf_scale_monotone(seed in 0u64..100) {
+/// HuggingFace scale controls the invocation count monotonically.
+#[test]
+fn hf_scale_monotone() {
+    for case in 0..6 {
+        let mut rng = rng_for(4, case);
+        let seed = rng.random_range(0u64..100);
         let small: usize = huggingface_suite(seed, HuggingfaceScale::custom(0.003))
             .iter()
             .map(|w| w.num_invocations())
@@ -91,6 +107,6 @@ proptest! {
             .iter()
             .map(|w| w.num_invocations())
             .sum();
-        prop_assert!(large >= small);
+        assert!(large >= small, "case {case}");
     }
 }

@@ -42,6 +42,10 @@
 //! assert!(sampled.error(full.total_cycles) < 0.05);
 //! ```
 
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
 pub use gpu_profile as profile;
 pub use gpu_sim as sim;
 pub use gpu_workload as workload;
