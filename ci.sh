@@ -6,4 +6,7 @@ cd "$(dirname "$0")"
 
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+# The chaos suite is part of the workspace run above; keep an explicit
+# invocation so a fault-model regression is named in CI output.
+cargo test -q --offline --test chaos
 cargo run -p stem-tidy --release --offline

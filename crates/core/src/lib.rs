@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod degrade;
+pub mod error;
 pub mod et;
 /// Deterministic seeded PRNG shared by the whole workspace.
 ///
@@ -62,6 +64,8 @@ pub mod sampler;
 pub mod stem;
 
 pub use config::StemConfig;
+pub use degrade::RecoveryPolicy;
+pub use error::StemError;
 pub use eval::{EvalResult, EvalSummary};
 pub use pipeline::Pipeline;
 pub use plan::SamplingPlan;

@@ -1,8 +1,13 @@
 //! The end-to-end sampled-simulation pipeline of Fig. 5: profile → sample →
 //! simulate → report.
 
-use crate::eval::{evaluate, EvalSummary};
+use crate::degrade::RecoveryPolicy;
+use crate::error::StemError;
+use crate::eval::{arithmetic_mean, evaluate, harmonic_mean, EvalResult, EvalSummary};
 use crate::sampler::KernelSampler;
+use crate::stem::StemRootSampler;
+use gpu_profile::validate::reconstructed_times;
+use gpu_profile::{DataQualityReport, TraceRecord, TraceValidator};
 use gpu_sim::{FullRun, Simulator};
 use gpu_workload::Workload;
 
@@ -11,48 +16,71 @@ use gpu_workload::Workload;
 /// # Example
 ///
 /// ```
+/// # fn main() -> Result<(), stem_core::StemError> {
 /// use gpu_sim::{GpuConfig, Simulator};
 /// use gpu_workload::suites::rodinia_suite;
 /// use stem_core::{Pipeline, StemConfig, StemRootSampler};
 ///
 /// let sim = Simulator::new(GpuConfig::rtx2080());
-/// let pipeline = Pipeline::new(sim).with_reps(3);
+/// let pipeline = Pipeline::new(sim).with_reps(3)?;
 /// let sampler = StemRootSampler::new(StemConfig::default());
 /// let summary = pipeline.run(&sampler, &rodinia_suite(7)[0]);
 /// assert!(summary.mean_error_pct < 6.0);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     sim: Simulator,
     reps: u32,
     base_seed: u64,
+    recovery: RecoveryPolicy,
 }
 
 impl Pipeline {
-    /// Creates a pipeline targeting `sim`, with the paper's 10 repetitions.
+    /// Creates a pipeline targeting `sim`, with the paper's 10 repetitions
+    /// and the repair-and-degrade recovery policy.
     pub fn new(sim: Simulator) -> Self {
         Pipeline {
             sim,
             reps: 10,
             base_seed: 1,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
     /// Overrides the repetition count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `reps == 0`.
-    pub fn with_reps(mut self, reps: u32) -> Self {
-        assert!(reps > 0, "at least one repetition required");
+    /// Returns [`StemError::InvalidConfig`] if `reps == 0` — at least one
+    /// repetition required.
+    pub fn with_reps(mut self, reps: u32) -> Result<Self, StemError> {
+        if reps == 0 {
+            return Err(StemError::InvalidConfig(
+                "at least one repetition required".to_string(),
+            ));
+        }
         self.reps = reps;
-        self
+        Ok(self)
     }
 
     /// Overrides the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
         self
+    }
+
+    /// Overrides how [`Pipeline::run_from_profile`] responds to traces
+    /// that needed repair.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The recovery policy in effect.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// The target simulator.
@@ -81,6 +109,108 @@ impl Pipeline {
     ) -> EvalSummary {
         evaluate(sampler, workload, &self.sim, full, self.reps, self.base_seed)
     }
+
+    /// Runs the pipeline from an *externally ingested* execution trace
+    /// instead of the built-in profiler — the chaos-hardened entry point.
+    ///
+    /// The trace is first passed through [`TraceValidator`]: duplicates
+    /// are dropped, out-of-order records re-sorted, corrupt times repaired
+    /// from interval evidence or median-imputed, and gaps counted. Under
+    /// [`RecoveryPolicy::FailFast`] any detected fault aborts the run;
+    /// under [`RecoveryPolicy::RepairAndDegrade`] (the default) the
+    /// sampler plans from the repaired trace with its error model widened
+    /// by the degraded fraction, so the reported bound stays honest. The
+    /// quality report is returned alongside the evaluation so callers can
+    /// audit what the validator did.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StemError::EmptyWorkload`], [`StemError::Validation`]
+    /// when nothing usable survives validation,
+    /// [`StemError::DegradedTrace`] under fail-fast with a damaged trace,
+    /// or any planning error from
+    /// [`StemRootSampler::try_plan_degraded`].
+    pub fn run_from_profile(
+        &self,
+        sampler: &StemRootSampler,
+        workload: &Workload,
+        records: &[TraceRecord],
+    ) -> Result<(EvalSummary, DataQualityReport), StemError> {
+        if workload.num_invocations() == 0 {
+            return Err(StemError::EmptyWorkload);
+        }
+        let expected = workload.num_invocations() as u64;
+        let validator = TraceValidator::new().with_expected_len(expected);
+        let (clean, report) = validator.validate(records)?;
+        self.run_validated(sampler, workload, &clean, report)
+    }
+
+    /// Like [`Pipeline::run_from_profile`], but ingests the trace as a CSV
+    /// document (`index,start,time` or `index,time` header), so even
+    /// row-level damage — ragged rows, unparsable cells — flows through
+    /// the same validate → repair → degrade path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::run_from_profile`].
+    pub fn run_from_csv(
+        &self,
+        sampler: &StemRootSampler,
+        workload: &Workload,
+        csv: &str,
+    ) -> Result<(EvalSummary, DataQualityReport), StemError> {
+        if workload.num_invocations() == 0 {
+            return Err(StemError::EmptyWorkload);
+        }
+        let expected = workload.num_invocations() as u64;
+        let validator = TraceValidator::new().with_expected_len(expected);
+        let (clean, report) = validator.validate_csv(csv)?;
+        self.run_validated(sampler, workload, &clean, report)
+    }
+
+    fn run_validated(
+        &self,
+        sampler: &StemRootSampler,
+        workload: &Workload,
+        clean: &[TraceRecord],
+        report: DataQualityReport,
+    ) -> Result<(EvalSummary, DataQualityReport), StemError> {
+        if self.recovery == RecoveryPolicy::FailFast && !report.is_clean() {
+            return Err(StemError::DegradedTrace(Box::new(report)));
+        }
+        let expected = workload.num_invocations() as u64;
+        let times = reconstructed_times(clean, expected);
+        let degraded = report.degraded_fraction();
+
+        let full = self.full_run(workload);
+        let mut results = Vec::with_capacity(self.reps as usize);
+        for r in 0..self.reps {
+            let seed = self
+                .base_seed
+                .wrapping_add(r as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15);
+            let plan = sampler.try_plan_degraded(workload, &times, seed, degraded)?;
+            let run = self.sim.run_sampled(workload, plan.samples());
+            results.push(EvalResult {
+                method: plan.method().to_string(),
+                workload: workload.name().to_string(),
+                error_pct: run.error(full.total_cycles) * 100.0,
+                speedup: run.speedup(full.total_cycles),
+                num_samples: plan.num_samples(),
+                predicted_error_pct: plan.predicted_error() * 100.0,
+            });
+        }
+        let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
+        let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+        let summary = EvalSummary {
+            method: sampler.name().to_string(),
+            workload: workload.name().to_string(),
+            mean_error_pct: arithmetic_mean(&errors),
+            harmonic_speedup: harmonic_mean(&speedups),
+            results,
+        };
+        Ok((summary, report))
+    }
 }
 
 #[cfg(test)]
@@ -88,14 +218,21 @@ mod tests {
     use super::*;
     use crate::config::StemConfig;
     use crate::stem::StemRootSampler;
+    use gpu_profile::ExecTimeProfiler;
     use gpu_sim::GpuConfig;
     use gpu_workload::suites::rodinia_suite;
+
+    fn pipeline(reps: u32) -> Pipeline {
+        Pipeline::new(Simulator::new(GpuConfig::rtx2080()))
+            .with_reps(reps)
+            .expect("positive reps")
+    }
 
     #[test]
     fn full_run_reused_across_methods() {
         let suite = rodinia_suite(17);
         let w = &suite[0];
-        let pipeline = Pipeline::new(Simulator::new(GpuConfig::rtx2080())).with_reps(2);
+        let pipeline = pipeline(2);
         let full = pipeline.full_run(w);
         let sampler = StemRootSampler::new(StemConfig::paper());
         let a = pipeline.run_against(&sampler, w, &full);
@@ -104,8 +241,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one repetition")]
     fn zero_reps_rejected() {
-        Pipeline::new(Simulator::new(GpuConfig::rtx2080())).with_reps(0);
+        let e = Pipeline::new(Simulator::new(GpuConfig::rtx2080()))
+            .with_reps(0)
+            .expect_err("zero reps");
+        assert!(e.to_string().contains("at least one repetition"));
+        assert!(matches!(e, StemError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn clean_trace_runs_and_reports_clean() {
+        let suite = rodinia_suite(17);
+        let w = &suite[1];
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let times = ExecTimeProfiler::new(GpuConfig::rtx2080(), 3).profile(w);
+        let records = TraceRecord::sequence(&times);
+        let (summary, report) = pipeline(2)
+            .run_from_profile(&sampler, w, &records)
+            .expect("clean trace");
+        assert!(report.is_clean());
+        assert_eq!(summary.results.len(), 2);
+        assert!(summary.mean_error_pct < 6.0);
+    }
+
+    #[test]
+    fn fail_fast_refuses_damaged_trace() {
+        let suite = rodinia_suite(17);
+        let w = &suite[1];
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let times = ExecTimeProfiler::new(GpuConfig::rtx2080(), 3).profile(w);
+        let mut records = TraceRecord::sequence(&times);
+        records.truncate(records.len() / 2);
+        let e = pipeline(2)
+            .with_recovery(RecoveryPolicy::FailFast)
+            .run_from_profile(&sampler, w, &records)
+            .expect_err("damaged trace");
+        match e {
+            StemError::DegradedTrace(report) => assert!(!report.is_clean()),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn repair_and_degrade_completes_on_damaged_trace() {
+        let suite = rodinia_suite(17);
+        let w = &suite[1];
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let times = ExecTimeProfiler::new(GpuConfig::rtx2080(), 3).profile(w);
+        let mut records = TraceRecord::sequence(&times);
+        records.truncate(records.len() / 2);
+        let (summary, report) = pipeline(2)
+            .run_from_profile(&sampler, w, &records)
+            .expect("repairable trace");
+        assert!(!report.is_clean());
+        assert!(report.truncated_tail > 0);
+        // The estimator re-simulates true values, so even a half trace
+        // keeps the error bounded once degradation inflates the model.
+        assert!(summary.mean_error_pct < 25.0, "{}", summary.mean_error_pct);
+    }
+
+    #[test]
+    fn empty_workload_is_typed_error() {
+        let suite = rodinia_suite(17);
+        let w = &suite[1];
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let e = pipeline(1)
+            .run_from_profile(&sampler, w, &[])
+            .expect_err("empty trace");
+        assert!(matches!(e, StemError::Validation(_)));
     }
 }

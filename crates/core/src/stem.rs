@@ -2,10 +2,13 @@
 //! random sampling with replacement.
 
 use crate::config::StemConfig;
+use crate::degrade::inflate_cluster_stats;
+use crate::error::StemError;
 use crate::plan::{ClusterSummary, SamplingPlan};
 use crate::root::{cluster_workload, KernelCluster};
 use crate::sampler::KernelSampler;
-use gpu_profile::ExecTimeProfiler;
+use gpu_profile::validate::reconstructed_times;
+use gpu_profile::{DataQualityReport, ExecTimeProfiler, TraceRecord, TraceValidator};
 use gpu_sim::WeightedSample;
 use gpu_workload::Workload;
 use crate::rng::{RngExt, SeedableRng, StdRng};
@@ -81,7 +84,8 @@ impl StemRootSampler {
     /// # Panics
     ///
     /// Panics if `times` does not have one positive, finite entry per
-    /// invocation.
+    /// invocation (the panicking wrapper over
+    /// [`StemRootSampler::try_plan_from_times`]).
     ///
     /// # Example
     ///
@@ -104,7 +108,90 @@ impl StemRootSampler {
         times: &[f64],
         rep_seed: u64,
     ) -> SamplingPlan {
-        self.plan_inner(workload, times, rep_seed)
+        match self.try_plan_from_times(workload, times, rep_seed) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`StemRootSampler::plan_from_times`] for
+    /// ingestion paths: external profiles must never panic the sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StemError::EmptyWorkload`],
+    /// [`StemError::ProfileLengthMismatch`] if `times` is not one entry per
+    /// invocation, or [`StemError::BadTime`] at the first nonpositive or
+    /// non-finite entry.
+    pub fn try_plan_from_times(
+        &self,
+        workload: &Workload,
+        times: &[f64],
+        rep_seed: u64,
+    ) -> Result<SamplingPlan, StemError> {
+        self.try_plan_degraded(workload, times, rep_seed, 0.0)
+    }
+
+    /// Like [`StemRootSampler::try_plan_from_times`], but widens every
+    /// cluster's standard deviation by `degraded_fraction` (see
+    /// [`crate::degrade::inflate_std`]) before sample sizing, so plans
+    /// built from repaired traces buy their error bound back with more
+    /// samples. A fraction of zero plans exactly like the clean path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StemRootSampler::try_plan_from_times`].
+    pub fn try_plan_degraded(
+        &self,
+        workload: &Workload,
+        times: &[f64],
+        rep_seed: u64,
+        degraded_fraction: f64,
+    ) -> Result<SamplingPlan, StemError> {
+        if workload.num_invocations() == 0 {
+            return Err(StemError::EmptyWorkload);
+        }
+        if times.len() != workload.num_invocations() {
+            return Err(StemError::ProfileLengthMismatch {
+                expected: workload.num_invocations(),
+                got: times.len(),
+            });
+        }
+        if let Some((index, &value)) =
+            times.iter().enumerate().find(|(_, t)| !(**t > 0.0 && t.is_finite()))
+        {
+            return Err(StemError::BadTime { index, value });
+        }
+        Ok(self.plan_inner_degraded(workload, times, rep_seed, degraded_fraction))
+    }
+
+    /// Builds a plan from a raw, possibly damaged execution trace: runs
+    /// [`TraceValidator`] (repair what can be repaired, quarantine the
+    /// rest), reconstructs one time per invocation, inflates the error
+    /// model by the degraded fraction, and returns the plan together with
+    /// the [`DataQualityReport`] describing what the validator found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StemError::Validation`] when nothing usable survives
+    /// validation, plus everything
+    /// [`StemRootSampler::try_plan_from_times`] reports.
+    pub fn plan_from_trace(
+        &self,
+        workload: &Workload,
+        records: &[TraceRecord],
+        rep_seed: u64,
+    ) -> Result<(SamplingPlan, DataQualityReport), StemError> {
+        if workload.num_invocations() == 0 {
+            return Err(StemError::EmptyWorkload);
+        }
+        let expected = workload.num_invocations() as u64;
+        let validator = TraceValidator::new().with_expected_len(expected);
+        let (clean, report) = validator.validate(records)?;
+        let times = reconstructed_times(&clean, expected);
+        let plan =
+            self.try_plan_degraded(workload, &times, rep_seed, report.degraded_fraction())?;
+        Ok((plan, report))
     }
 
     fn cluster_times(&self, workload: &Workload, times: &[f64]) -> Vec<KernelCluster> {
@@ -137,8 +224,22 @@ impl KernelSampler for StemRootSampler {
 
 impl StemRootSampler {
     fn plan_inner(&self, workload: &Workload, times: &[f64], rep_seed: u64) -> SamplingPlan {
+        self.plan_inner_degraded(workload, times, rep_seed, 0.0)
+    }
+
+    fn plan_inner_degraded(
+        &self,
+        workload: &Workload,
+        times: &[f64],
+        rep_seed: u64,
+        degraded_fraction: f64,
+    ) -> SamplingPlan {
         let clusters = self.cluster_times(workload, times);
-        let stats: Vec<_> = clusters.iter().map(|c| c.stat).collect();
+        let measured: Vec<_> = clusters.iter().map(|c| c.stat).collect();
+        // Sizing runs against the inflated statistics; the plan's cluster
+        // summaries keep the measured ones (they describe the data, not
+        // the safety margin).
+        let stats = inflate_cluster_stats(&measured, degraded_fraction);
         let eps = self.config.epsilon;
         let z = self.config.z();
 

@@ -1,0 +1,476 @@
+//! `stem-chaos`: deterministic fault injection for profiler traces.
+//!
+//! Real profiler stacks (Nsight Systems / NVBit in the paper's setup) emit
+//! imperfect traces: dropped or duplicated kernel launches, truncated runs
+//! when the profiler dies, reordered records from multi-stream collection,
+//! NaN/Inf counters, clock skew between the timestamp source and the timer,
+//! and ragged CSV rows from interrupted writes. This module reproduces each
+//! of those fault classes *deterministically* — a [`FaultPlan`] is seeded
+//! through the in-tree [`stem_stats::rng`] generator, so a chaos run is
+//! exactly reproducible from `(seed, plan)` — which makes the robustness
+//! suite (`tests/chaos.rs`) as replayable as any other test.
+//!
+//! The companion [`crate::validate`] module detects and repairs these
+//! faults; the taxonomy here and the detectors there are intentionally
+//! developed against each other.
+
+use stem_stats::rng::{RngExt, SeedableRng, StdRng};
+
+/// One kernel-invocation record in a raw profiler trace.
+///
+/// `index` is the stream-order launch index assigned by the profiler,
+/// `start` the launch timestamp (cycles since trace begin, `NaN` when the
+/// back-end reports no timestamps), `time` the reported execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Stream-order invocation index assigned by the profiler.
+    pub index: u64,
+    /// Start timestamp (cycles since trace begin); `NaN` when unavailable.
+    pub start: f64,
+    /// Reported execution time (cycles).
+    pub time: f64,
+}
+
+impl TraceRecord {
+    /// Builds a clean trace from per-invocation times: indices are
+    /// sequential and each invocation starts when the previous one ends —
+    /// the back-to-back kernel stream of the paper's NSYS traces.
+    pub fn sequence(times: &[f64]) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(times.len());
+        let mut start = 0.0;
+        for (i, &t) in times.iter().enumerate() {
+            out.push(TraceRecord { index: i as u64, start, time: t });
+            start += t;
+        }
+        out
+    }
+
+    /// Builds a trace whose back-end reports no timestamps (`start = NaN`);
+    /// the validator then has no interval evidence and falls back to
+    /// median imputation for unrepairable times.
+    pub fn sequence_without_timestamps(times: &[f64]) -> Vec<TraceRecord> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| TraceRecord { index: i as u64, start: f64::NAN, time: t })
+            .collect()
+    }
+}
+
+/// One fault class from the taxonomy. Fractions are probabilities (or
+/// proportions of the trace) in `[0, 1]`; out-of-range values are clamped
+/// by the underlying Bernoulli draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Each record independently vanishes with probability `fraction`
+    /// (dropped launches under profiler buffer pressure).
+    Drop {
+        /// Per-record drop probability.
+        fraction: f64,
+    },
+    /// Each record is emitted twice with probability `fraction`
+    /// (double-reported launches).
+    Duplicate {
+        /// Per-record duplication probability.
+        fraction: f64,
+    },
+    /// The trailing `fraction` of the trace is cut off (the profiler died
+    /// mid-run).
+    TruncateTail {
+        /// Proportion of the trace removed from the tail.
+        fraction: f64,
+    },
+    /// About `fraction * len` random record pairs are swapped (out-of-order
+    /// delivery from multi-stream collection).
+    Reorder {
+        /// Proportion of the trace length used as the swap count.
+        fraction: f64,
+    },
+    /// Each reported time becomes `NaN` with probability `fraction`.
+    NanTime {
+        /// Per-record corruption probability.
+        fraction: f64,
+    },
+    /// Each reported time becomes `+inf` with probability `fraction`.
+    InfTime {
+        /// Per-record corruption probability.
+        fraction: f64,
+    },
+    /// Each reported time is negated with probability `fraction`
+    /// (counter underflow).
+    NegativeTime {
+        /// Per-record corruption probability.
+        fraction: f64,
+    },
+    /// A contiguous window of `fraction * len` records has its reported
+    /// times scaled by `factor` while the start timestamps keep the true
+    /// cadence — the classic skew between the timer and timestamp clocks.
+    ClockSkew {
+        /// Proportion of the trace covered by the skewed window.
+        fraction: f64,
+        /// Multiplicative skew applied to reported times in the window.
+        factor: f64,
+    },
+    /// Each serialized CSV data row loses its last cell with probability
+    /// `fraction` (interrupted writes). Applies in
+    /// [`FaultPlan::corrupt_csv`] only; a no-op on in-memory records.
+    RaggedRows {
+        /// Per-row corruption probability.
+        fraction: f64,
+    },
+}
+
+impl Fault {
+    /// Stable, human-readable name of the fault class (for reports/tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::Drop { .. } => "drop",
+            Fault::Duplicate { .. } => "duplicate",
+            Fault::TruncateTail { .. } => "truncate-tail",
+            Fault::Reorder { .. } => "reorder",
+            Fault::NanTime { .. } => "nan-time",
+            Fault::InfTime { .. } => "inf-time",
+            Fault::NegativeTime { .. } => "negative-time",
+            Fault::ClockSkew { .. } => "clock-skew",
+            Fault::RaggedRows { .. } => "ragged-rows",
+        }
+    }
+}
+
+/// A seeded, composable corruption recipe: an ordered list of [`Fault`]s
+/// applied to a trace. Two applications of the same plan to the same trace
+/// produce byte-identical corruption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no corruption) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// A single-fault plan — the unit the chaos suite sweeps over.
+    pub fn single(seed: u64, fault: Fault) -> Self {
+        FaultPlan { seed, faults: vec![fault] }
+    }
+
+    /// Appends a fault to the plan (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// One moderate-severity representative plan per fault class, in a
+    /// stable order — the sweep axis of `tests/chaos.rs`.
+    pub fn all_classes(seed: u64) -> Vec<FaultPlan> {
+        [
+            Fault::Drop { fraction: 0.1 },
+            Fault::Duplicate { fraction: 0.1 },
+            Fault::TruncateTail { fraction: 0.2 },
+            Fault::Reorder { fraction: 0.25 },
+            Fault::NanTime { fraction: 0.05 },
+            Fault::InfTime { fraction: 0.05 },
+            Fault::NegativeTime { fraction: 0.05 },
+            Fault::ClockSkew { fraction: 0.1, factor: 8.0 },
+            Fault::RaggedRows { fraction: 0.1 },
+        ]
+        .into_iter()
+        .map(|f| FaultPlan::single(seed, f))
+        .collect()
+    }
+
+    /// Corrupts an in-memory trace. Record-level faults apply in plan
+    /// order; [`Fault::RaggedRows`] is CSV-level and skipped here. The
+    /// output always retains at least one record (a trace that vanished
+    /// entirely is a missing-file problem, not a data-quality one).
+    pub fn apply(&self, records: &[TraceRecord]) -> Vec<TraceRecord> {
+        let mut out = records.to_vec();
+        for (i, fault) in self.faults.iter().enumerate() {
+            let mut rng = self.fault_rng(i);
+            out = apply_one(fault, &mut rng, out);
+        }
+        out
+    }
+
+    /// Corrupts a serialized CSV document: applies every
+    /// [`Fault::RaggedRows`] in the plan to the data rows (comment and
+    /// header lines pass through untouched). Other fault classes are
+    /// record-level and skipped here.
+    pub fn corrupt_csv(&self, csv: &str) -> String {
+        let mut text = csv.to_string();
+        for (i, fault) in self.faults.iter().enumerate() {
+            let Fault::RaggedRows { fraction } = *fault else {
+                continue;
+            };
+            let mut rng = self.fault_rng(i);
+            let mut out = String::with_capacity(text.len());
+            let mut seen_header = false;
+            for line in text.lines() {
+                if line.starts_with('#') || line.trim().is_empty() || !seen_header {
+                    if !line.starts_with('#') && !line.trim().is_empty() {
+                        seen_header = true;
+                    }
+                    out.push_str(line);
+                } else if rng.random_bool(fraction) {
+                    match line.rfind(',') {
+                        Some(pos) => out.push_str(&line[..pos]),
+                        None => out.push_str(line),
+                    }
+                } else {
+                    out.push_str(line);
+                }
+                out.push('\n');
+            }
+            text = out;
+        }
+        text
+    }
+
+    /// Decorrelated per-fault generator: the stream depends on the plan
+    /// seed and the fault's position, so editing one fault's parameters
+    /// never perturbs another's draws.
+    fn fault_rng(&self, position: usize) -> StdRng {
+        let mix = (position as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        StdRng::seed_from_u64(self.seed ^ mix)
+    }
+}
+
+fn apply_one(fault: &Fault, rng: &mut StdRng, mut records: Vec<TraceRecord>) -> Vec<TraceRecord> {
+    if records.is_empty() {
+        return records;
+    }
+    match *fault {
+        Fault::Drop { fraction } => {
+            let kept: Vec<TraceRecord> = records
+                .iter()
+                .copied()
+                .filter(|_| !rng.random_bool(fraction))
+                .collect();
+            if kept.is_empty() {
+                records.truncate(1);
+                records
+            } else {
+                kept
+            }
+        }
+        Fault::Duplicate { fraction } => {
+            let mut out = Vec::with_capacity(records.len() + records.len() / 4);
+            for r in &records {
+                out.push(*r);
+                if rng.random_bool(fraction) {
+                    out.push(*r);
+                }
+            }
+            out
+        }
+        Fault::TruncateTail { fraction } => {
+            let keep = ((records.len() as f64) * (1.0 - fraction)).ceil() as usize;
+            records.truncate(keep.clamp(1, records.len()));
+            records
+        }
+        Fault::Reorder { fraction } => {
+            if records.len() >= 2 {
+                let swaps = ((records.len() as f64 * fraction).ceil() as usize).max(1);
+                for _ in 0..swaps {
+                    let a = rng.random_range(0..records.len());
+                    let b = rng.random_range(0..records.len());
+                    records.swap(a, b);
+                }
+            }
+            records
+        }
+        Fault::NanTime { fraction } => {
+            for r in &mut records {
+                if rng.random_bool(fraction) {
+                    r.time = f64::NAN;
+                }
+            }
+            records
+        }
+        Fault::InfTime { fraction } => {
+            for r in &mut records {
+                if rng.random_bool(fraction) {
+                    r.time = f64::INFINITY;
+                }
+            }
+            records
+        }
+        Fault::NegativeTime { fraction } => {
+            for r in &mut records {
+                if rng.random_bool(fraction) {
+                    r.time = -r.time.abs();
+                }
+            }
+            records
+        }
+        Fault::ClockSkew { fraction, factor } => {
+            let len = records.len();
+            let window = ((len as f64 * fraction).ceil() as usize).clamp(1, len);
+            let first = if len > window {
+                rng.random_range(0..len - window + 1)
+            } else {
+                0
+            };
+            for r in &mut records[first..first + window] {
+                r.time *= factor;
+            }
+            records
+        }
+        Fault::RaggedRows { .. } => records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(n: usize) -> Vec<TraceRecord> {
+        TraceRecord::sequence(&(1..=n).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    /// Bitwise trace equality: `PartialEq` on f64 makes NaN != NaN, but a
+    /// deterministic corruptor must reproduce NaNs in the same places too.
+    fn identical(a: &[TraceRecord], b: &[TraceRecord]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.index == y.index
+                    && x.start.to_bits() == y.start.to_bits()
+                    && x.time.to_bits() == y.time.to_bits()
+            })
+    }
+
+    #[test]
+    fn sequence_builds_back_to_back_stream() {
+        let recs = TraceRecord::sequence(&[2.0, 3.0, 5.0]);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].start, 0.0);
+        assert_eq!(recs[1].start, 2.0);
+        assert_eq!(recs[2].start, 5.0);
+        assert_eq!(recs[2].index, 2);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let recs = clean(200);
+        for plan in FaultPlan::all_classes(42) {
+            assert!(
+                identical(&plan.apply(&recs), &plan.apply(&recs)),
+                "{}",
+                plan.faults()[0].label()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let recs = clean(200);
+        let a = FaultPlan::single(1, Fault::Drop { fraction: 0.5 }).apply(&recs);
+        let b = FaultPlan::single(2, Fault::Drop { fraction: 0.5 }).apply(&recs);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drop_removes_but_never_empties() {
+        let recs = clean(100);
+        let out = FaultPlan::single(7, Fault::Drop { fraction: 0.3 }).apply(&recs);
+        assert!(out.len() < recs.len());
+        assert!(!out.is_empty());
+        let all = FaultPlan::single(7, Fault::Drop { fraction: 1.0 }).apply(&recs);
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_repeats_records() {
+        let recs = clean(100);
+        let out = FaultPlan::single(7, Fault::Duplicate { fraction: 0.3 }).apply(&recs);
+        assert!(out.len() > recs.len());
+        // Duplicates are adjacent and identical.
+        let dup = out.windows(2).find(|w| w[0] == w[1]);
+        assert!(dup.is_some());
+    }
+
+    #[test]
+    fn truncate_cuts_tail() {
+        let recs = clean(100);
+        let out = FaultPlan::single(7, Fault::TruncateTail { fraction: 0.25 }).apply(&recs);
+        assert_eq!(out.len(), 75);
+        assert_eq!(out[74].index, 74);
+    }
+
+    #[test]
+    fn reorder_permutes_without_loss() {
+        let recs = clean(100);
+        let out = FaultPlan::single(7, Fault::Reorder { fraction: 0.5 }).apply(&recs);
+        assert_eq!(out.len(), recs.len());
+        let mut sorted = out.clone();
+        sorted.sort_by_key(|r| r.index);
+        assert_eq!(sorted, recs);
+        assert_ne!(out, recs);
+    }
+
+    #[test]
+    fn time_corruptions_hit_some_records() {
+        let recs = clean(200);
+        let nan = FaultPlan::single(7, Fault::NanTime { fraction: 0.1 }).apply(&recs);
+        assert!(nan.iter().any(|r| r.time.is_nan()));
+        let inf = FaultPlan::single(7, Fault::InfTime { fraction: 0.1 }).apply(&recs);
+        assert!(inf.iter().any(|r| r.time.is_infinite()));
+        let neg = FaultPlan::single(7, Fault::NegativeTime { fraction: 0.1 }).apply(&recs);
+        assert!(neg.iter().any(|r| r.time < 0.0));
+    }
+
+    #[test]
+    fn clock_skew_scales_a_window_but_keeps_starts() {
+        let recs = clean(100);
+        let out =
+            FaultPlan::single(7, Fault::ClockSkew { fraction: 0.1, factor: 10.0 }).apply(&recs);
+        let skewed = out
+            .iter()
+            .zip(&recs)
+            .filter(|(a, b)| (a.time - b.time).abs() > 1e-9)
+            .count();
+        assert_eq!(skewed, 10);
+        for (a, b) in out.iter().zip(&recs) {
+            assert_eq!(a.start, b.start, "skew must not touch timestamps");
+        }
+    }
+
+    #[test]
+    fn ragged_rows_is_record_level_noop_but_corrupts_csv() {
+        let recs = clean(50);
+        let plan = FaultPlan::single(7, Fault::RaggedRows { fraction: 0.3 });
+        assert_eq!(plan.apply(&recs), recs);
+        let csv = crate::validate::trace_to_csv(&recs);
+        let bad = plan.corrupt_csv(&csv);
+        assert_ne!(bad, csv);
+        // Header intact, some data rows lost a cell.
+        let mut lines = bad.lines();
+        assert_eq!(lines.next(), Some("index,start,time"));
+        assert!(lines.any(|l| l.split(',').count() == 2));
+    }
+
+    #[test]
+    fn faults_compose_in_order() {
+        let recs = clean(100);
+        let plan = FaultPlan::new(9)
+            .with(Fault::Drop { fraction: 0.1 })
+            .with(Fault::Duplicate { fraction: 0.1 })
+            .with(Fault::NanTime { fraction: 0.05 });
+        let out = plan.apply(&recs);
+        assert!(identical(&plan.apply(&recs), &out));
+        assert!(!out.is_empty());
+    }
+}

@@ -2,33 +2,93 @@
 //!
 //! The paper's artifact ships profiles as CSVs; the `repro` harness writes
 //! compatible files to `results/`. No third-party CSV crate: the format is
-//! one header line plus numeric rows.
+//! one header line plus numeric rows. Both directions are total functions:
+//! serialization rejects ragged rows and non-finite cells with a
+//! row-numbered [`WriteCsvError`] (mirroring [`ParseCsvError`] on the read
+//! side) instead of panicking, and both sides cap the row count at
+//! [`MAX_ROWS`] so a corrupt or adversarial document cannot drive the
+//! reader into unbounded allocation.
 
 use std::fmt::Write as _;
 use std::str::FromStr;
 
+/// Hard cap on the number of data rows either direction will process
+/// (2^30 ≈ 1 Gi rows). Far below the 2^53 limit where the artifact
+/// format's f64 index cells stop round-tripping exactly, and large enough
+/// for any real profile; anything bigger is treated as corruption.
+pub const MAX_ROWS: usize = 1 << 30;
+
+/// Error serializing rows to CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteCsvError {
+    /// 1-based number of the offending data row.
+    pub row: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WriteCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv write error at row {}: {}", self.row, self.message)
+    }
+}
+
+impl std::error::Error for WriteCsvError {}
+
 /// Serializes rows of `f64` to a CSV string with a header.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any row's length differs from the header's.
-pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+/// Returns [`WriteCsvError`] identifying the first offending row when any
+/// row's length differs from the header's, any cell is NaN or infinite
+/// (such a cell could not round-trip as a valid profile value), or the row
+/// count exceeds [`MAX_ROWS`].
+pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> Result<String, WriteCsvError> {
+    to_csv_with_cap(header, rows, MAX_ROWS)
+}
+
+pub(crate) fn to_csv_with_cap(
+    header: &[&str],
+    rows: &[Vec<f64>],
+    cap: usize,
+) -> Result<String, WriteCsvError> {
+    if rows.len() > cap {
+        return Err(WriteCsvError {
+            row: cap + 1,
+            message: format!("row count {} exceeds the {cap}-row cap", rows.len()),
+        });
+    }
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');
-    for row in rows {
-        assert_eq!(row.len(), header.len(), "row width must match header");
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(WriteCsvError {
+                row: i + 1,
+                message: format!(
+                    "row width must match header: expected {} cells, got {}",
+                    header.len(),
+                    row.len()
+                ),
+            });
+        }
         let mut first = true;
-        for v in row {
+        for (j, v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(WriteCsvError {
+                    row: i + 1,
+                    message: format!("non-finite value {v} in column {j}"),
+                });
+            }
             if !first {
                 out.push(',');
             }
-            write!(out, "{v}").expect("write to string cannot fail");
+            let _ = write!(out, "{v}");
             first = false;
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Error parsing a CSV document.
@@ -53,9 +113,16 @@ impl std::error::Error for ParseCsvError {}
 ///
 /// # Errors
 ///
-/// Returns [`ParseCsvError`] on an empty document, ragged rows, or
-/// non-numeric cells.
+/// Returns [`ParseCsvError`] on an empty document, ragged rows,
+/// non-numeric cells, or more than [`MAX_ROWS`] data rows.
 pub fn from_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<f64>>), ParseCsvError> {
+    from_csv_with_cap(text, MAX_ROWS)
+}
+
+pub(crate) fn from_csv_with_cap(
+    text: &str,
+    cap: usize,
+) -> Result<(Vec<String>, Vec<Vec<f64>>), ParseCsvError> {
     let mut lines = text.lines().enumerate();
     let (_, header_line) = lines.next().ok_or(ParseCsvError {
         line: 1,
@@ -66,6 +133,12 @@ pub fn from_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<f64>>), ParseCsvErro
     for (i, line) in lines {
         if line.trim().is_empty() {
             continue;
+        }
+        if rows.len() >= cap {
+            return Err(ParseCsvError {
+                line: i + 1,
+                message: format!("row count exceeds the {cap}-row cap"),
+            });
         }
         let cells: Result<Vec<f64>, _> = line.split(',').map(f64::from_str).collect();
         let row = cells.map_err(|e| ParseCsvError {
@@ -91,7 +164,7 @@ mod tests {
     fn roundtrip() {
         let header = ["a", "b"];
         let rows = vec![vec![1.0, 2.5], vec![-3.0, 1e-9]];
-        let csv = to_csv(&header, &rows);
+        let csv = to_csv(&header, &rows).expect("valid rows");
         let (h, r) = from_csv(&csv).expect("valid csv");
         assert_eq!(h, vec!["a".to_string(), "b".to_string()]);
         assert_eq!(r, rows);
@@ -99,7 +172,7 @@ mod tests {
 
     #[test]
     fn empty_rows_ok() {
-        let csv = to_csv(&["x"], &[]);
+        let csv = to_csv(&["x"], &[]).expect("valid rows");
         let (h, r) = from_csv(&csv).expect("valid csv");
         assert_eq!(h.len(), 1);
         assert!(r.is_empty());
@@ -129,8 +202,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn to_csv_checks_width() {
-        to_csv(&["a", "b"], &[vec![1.0]]);
+    fn header_only_document_ok() {
+        let (h, r) = from_csv("a,b\n").expect("header only");
+        assert_eq!(h.len(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn to_csv_rejects_ragged_row_with_row_number() {
+        let err = to_csv(&["a", "b"], &[vec![1.0, 2.0], vec![1.0]]).expect_err("ragged");
+        assert_eq!(err.row, 2);
+        assert!(err.to_string().contains("row width"));
+    }
+
+    #[test]
+    fn to_csv_rejects_non_finite_cells_with_position() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err =
+                to_csv(&["a", "b"], &[vec![1.0, 2.0], vec![3.0, bad]]).expect_err("non-finite");
+            assert_eq!(err.row, 2);
+            assert!(err.message.contains("column 1"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_cells_parse_but_cannot_serialize() {
+        // The lenient parser accepts what Rust's f64 grammar accepts — the
+        // validator downstream is responsible for quarantining these — but
+        // the writer refuses to produce them in the first place.
+        let (_, rows) = from_csv("a\nNaN\ninf\n").expect("parsable");
+        assert!(rows[0][0].is_nan());
+        assert!(rows[1][0].is_infinite());
+        assert!(to_csv(&["a"], &rows).is_err());
+    }
+
+    #[test]
+    fn row_count_caps_enforced_both_directions() {
+        // Exercised through the capped inner functions: allocating MAX_ROWS
+        // rows in a unit test is not viable, the guard logic is identical.
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let err = to_csv_with_cap(&["a"], &rows, 2).expect_err("over cap");
+        assert!(err.message.contains("exceeds the 2-row cap"));
+        assert!(to_csv_with_cap(&["a"], &rows, 3).is_ok());
+
+        let err = from_csv_with_cap("a\n1\n2\n3\n", 2).expect_err("over cap");
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("exceeds the 2-row cap"));
+        assert!(from_csv_with_cap("a\n1\n2\n3\n", 3).is_ok());
     }
 }

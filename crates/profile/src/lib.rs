@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bbv;
+pub mod chaos;
 pub mod csv;
 pub mod exec_time;
 pub mod features;
@@ -28,11 +29,15 @@ pub mod instr;
 pub mod overhead;
 pub mod record;
 pub mod tracegen;
+pub mod validate;
 
 pub use bbv::BbvProfiler;
+pub use chaos::{Fault, FaultPlan, TraceRecord};
+pub use csv::{ParseCsvError, WriteCsvError};
 pub use exec_time::ExecTimeProfiler;
 pub use features::{FeatureProfiler, PKA_FEATURE_COUNT};
 pub use instr::InstrProfiler;
 pub use overhead::{OverheadModel, OverheadReport};
-pub use record::ExecTimeProfile;
+pub use record::{ExecTimeProfile, InvalidProfileError};
 pub use tracegen::{TraceGenModel, TraceGenReport};
+pub use validate::{DataQualityReport, TraceValidator, ValidationError};

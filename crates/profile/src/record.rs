@@ -4,9 +4,28 @@
 //! without re-profiling; this module gives the same workflow. An
 //! [`ExecTimeProfile`] pairs a workload identity with per-invocation times
 //! and round-trips through the [`crate::csv`] format, ready to feed
-//! `StemRootSampler::plan_from_times`.
+//! `StemRootSampler::plan_from_times`. Construction and serialization are
+//! fallible rather than panicking: profiles arrive from outside the
+//! process, so a bad one is an input error, not a bug.
 
-use crate::csv::{from_csv, to_csv, ParseCsvError};
+use crate::csv::{from_csv, to_csv, ParseCsvError, WriteCsvError};
+
+/// The times handed to [`ExecTimeProfile::new`] were unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidProfileError {
+    /// Workload the rejected profile claimed to describe.
+    pub workload: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for InvalidProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid profile of {}: {}", self.workload, self.message)
+    }
+}
+
+impl std::error::Error for InvalidProfileError {}
 
 /// An execution-time profile of one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,20 +37,31 @@ pub struct ExecTimeProfile {
 impl ExecTimeProfile {
     /// Creates a profile.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `times` is empty or contains nonpositive/non-finite
-    /// entries.
-    pub fn new(workload: impl Into<String>, times: Vec<f64>) -> Self {
+    /// Returns [`InvalidProfileError`] if `times` is empty or contains
+    /// nonpositive/non-finite entries (run such data through
+    /// [`crate::validate::TraceValidator`] first to repair it).
+    pub fn new(
+        workload: impl Into<String>,
+        times: Vec<f64>,
+    ) -> Result<Self, InvalidProfileError> {
         let workload = workload.into();
-        assert!(!times.is_empty(), "profile of {workload} has no samples");
-        for &t in &times {
-            assert!(
-                t.is_finite() && t > 0.0,
-                "profile of {workload} contains nonpositive time {t}"
-            );
+        if times.is_empty() {
+            return Err(InvalidProfileError {
+                workload,
+                message: "profile has no samples".to_string(),
+            });
         }
-        ExecTimeProfile { workload, times }
+        for (i, &t) in times.iter().enumerate() {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(InvalidProfileError {
+                    workload,
+                    message: format!("nonpositive or non-finite time {t} at index {i}"),
+                });
+            }
+        }
+        Ok(ExecTimeProfile { workload, times })
     }
 
     /// Workload the profile belongs to.
@@ -55,14 +85,23 @@ impl ExecTimeProfile {
     }
 
     /// Serializes to the artifact CSV format (`index,time` rows).
-    pub fn to_csv_string(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteCsvError`] if the profile exceeds the CSV row cap —
+    /// construction already guarantees finite positive times.
+    pub fn to_csv_string(&self) -> Result<String, WriteCsvError> {
         let rows: Vec<Vec<f64>> = self
             .times
             .iter()
             .enumerate()
             .map(|(i, &t)| vec![i as f64, t])
             .collect();
-        format!("# workload: {}\n{}", self.workload, to_csv(&["index", "time"], &rows))
+        Ok(format!(
+            "# workload: {}\n{}",
+            self.workload,
+            to_csv(&["index", "time"], &rows)?
+        ))
     }
 
     /// Parses a profile written by [`ExecTimeProfile::to_csv_string`].
@@ -112,8 +151,8 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let p = ExecTimeProfile::new("bert_infer", vec![1.5, 2.0, 99.25]);
-        let csv = p.to_csv_string();
+        let p = ExecTimeProfile::new("bert_infer", vec![1.5, 2.0, 99.25]).expect("valid");
+        let csv = p.to_csv_string().expect("serializable");
         let back = ExecTimeProfile::from_csv_string(&csv).expect("valid profile csv");
         assert_eq!(p, back);
         assert_eq!(back.workload(), "bert_infer");
@@ -146,8 +185,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has no samples")]
     fn empty_construction_rejected() {
-        ExecTimeProfile::new("x", vec![]);
+        let err = ExecTimeProfile::new("x", vec![]).expect_err("no samples");
+        assert!(err.to_string().contains("has no samples"));
+        assert_eq!(err.workload, "x");
+    }
+
+    #[test]
+    fn degenerate_times_rejected_with_index() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ExecTimeProfile::new("x", vec![1.0, bad]).expect_err("bad time");
+            assert!(err.message.contains("at index 1"), "{}", err.message);
+        }
     }
 }

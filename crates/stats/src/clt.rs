@@ -15,15 +15,33 @@
 //! m = ceil( (z_{1-alpha/2} / epsilon * sigma / mu)^2 )   (Eq. 3)
 //! ```
 
+use crate::error::{ensure_nonnegative_finite, ensure_positive_finite, StatsError};
+
 /// Theoretical relative sampling error of the estimate `|C| * sample_mean`
 /// (Eq. 2), as a fraction (not a percentage).
 ///
 /// Returns `0.0` when `sigma == 0` (a perfectly stable kernel needs a single
 /// sample and carries no sampling error).
 ///
+/// # Errors
+///
+/// Returns [`StatsError`] if `mu` is nonpositive or non-finite, `sigma` is
+/// negative or non-finite, `m == 0`, or `z` is nonpositive or non-finite.
+pub fn try_sampling_error(mu: f64, sigma: f64, m: u64, z: f64) -> Result<f64, StatsError> {
+    ensure_positive_finite("mean execution time", mu)?;
+    ensure_nonnegative_finite("standard deviation", sigma)?;
+    if m == 0 {
+        return Err(StatsError::TooFew { what: "sample size", got: 0, min: 1 });
+    }
+    ensure_positive_finite("z-score", z)?;
+    Ok(z * sigma / (mu * (m as f64).sqrt()))
+}
+
+/// Panicking convenience wrapper over [`try_sampling_error`].
+///
 /// # Panics
 ///
-/// Panics if `mu <= 0`, `m == 0`, or `sigma < 0`.
+/// Panics on any input [`try_sampling_error`] rejects.
 ///
 /// # Example
 ///
@@ -34,19 +52,34 @@
 /// assert!((e - 0.098).abs() < 1e-12);
 /// ```
 pub fn sampling_error(mu: f64, sigma: f64, m: u64, z: f64) -> f64 {
-    assert!(mu > 0.0, "mean execution time must be positive, got {mu}");
-    assert!(sigma >= 0.0, "standard deviation must be nonnegative");
-    assert!(m > 0, "sample size must be positive");
-    z * sigma / (mu * (m as f64).sqrt())
+    match try_sampling_error(mu, sigma, m, z) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Minimal sample size ensuring the sampling error stays within `epsilon`
 /// (Eq. 3). Always returns at least 1: even a zero-variance kernel must be
 /// simulated once to learn its execution time.
 ///
+/// # Errors
+///
+/// Returns [`StatsError`] if `mu` is nonpositive or non-finite, `sigma` is
+/// negative or non-finite, or `epsilon`/`z` are nonpositive or non-finite.
+pub fn try_sample_size(mu: f64, sigma: f64, epsilon: f64, z: f64) -> Result<u64, StatsError> {
+    ensure_positive_finite("mean execution time", mu)?;
+    ensure_nonnegative_finite("standard deviation", sigma)?;
+    ensure_positive_finite("error bound", epsilon)?;
+    ensure_positive_finite("z-score", z)?;
+    let m = (z / epsilon * sigma / mu).powi(2).ceil();
+    Ok((m as u64).max(1))
+}
+
+/// Panicking convenience wrapper over [`try_sample_size`].
+///
 /// # Panics
 ///
-/// Panics if `mu <= 0`, `sigma < 0`, `epsilon <= 0`, or `z <= 0`.
+/// Panics on any input [`try_sample_size`] rejects.
 ///
 /// # Example
 ///
@@ -58,12 +91,10 @@ pub fn sampling_error(mu: f64, sigma: f64, m: u64, z: f64) -> f64 {
 /// assert_eq!(sample_size(100.0, 100.0, 0.05, 1.96), 1537);
 /// ```
 pub fn sample_size(mu: f64, sigma: f64, epsilon: f64, z: f64) -> u64 {
-    assert!(mu > 0.0, "mean execution time must be positive, got {mu}");
-    assert!(sigma >= 0.0, "standard deviation must be nonnegative");
-    assert!(epsilon > 0.0, "error bound must be positive, got {epsilon}");
-    assert!(z > 0.0, "z-score must be positive, got {z}");
-    let m = (z / epsilon * sigma / mu).powi(2).ceil();
-    (m as u64).max(1)
+    match try_sample_size(mu, sigma, epsilon, z) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Sample size computed directly from a coefficient of variation.
@@ -71,12 +102,29 @@ pub fn sample_size(mu: f64, sigma: f64, epsilon: f64, z: f64) -> u64 {
 /// Identical to [`sample_size`] with `sigma/mu = cov`; convenient when only
 /// profiler-reported CoV is available (Sec. 3.2: CoV is used as a proxy for
 /// the unobtainable true `sigma`, `mu`).
-pub fn sample_size_from_cov(cov: f64, epsilon: f64, z: f64) -> u64 {
-    assert!(cov >= 0.0, "CoV must be nonnegative, got {cov}");
-    assert!(epsilon > 0.0, "error bound must be positive, got {epsilon}");
-    assert!(z > 0.0, "z-score must be positive, got {z}");
+///
+/// # Errors
+///
+/// Returns [`StatsError`] if `cov` is negative or non-finite, or
+/// `epsilon`/`z` are nonpositive or non-finite.
+pub fn try_sample_size_from_cov(cov: f64, epsilon: f64, z: f64) -> Result<u64, StatsError> {
+    ensure_nonnegative_finite("CoV", cov)?;
+    ensure_positive_finite("error bound", epsilon)?;
+    ensure_positive_finite("z-score", z)?;
     let m = (z / epsilon * cov).powi(2).ceil();
-    (m as u64).max(1)
+    Ok((m as u64).max(1))
+}
+
+/// Panicking convenience wrapper over [`try_sample_size_from_cov`].
+///
+/// # Panics
+///
+/// Panics on any input [`try_sample_size_from_cov`] rejects.
+pub fn sample_size_from_cov(cov: f64, epsilon: f64, z: f64) -> u64 {
+    match try_sample_size_from_cov(cov, epsilon, z) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +207,44 @@ mod tests {
     #[should_panic(expected = "error bound must be positive")]
     fn rejects_nonpositive_epsilon() {
         sample_size(1.0, 1.0, 0.0, 1.96);
+    }
+
+    #[test]
+    fn try_variants_match_panicking_on_valid_input() {
+        assert_eq!(try_sample_size(100.0, 5.0, 0.05, 1.96), Ok(4));
+        assert_eq!(try_sample_size_from_cov(0.4, 0.05, 1.96), Ok(246));
+        let e = try_sampling_error(10.0, 5.0, 100, 1.96).expect("valid");
+        assert!((e - sampling_error(10.0, 5.0, 100, 1.96)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn try_variants_reject_non_finite_inputs() {
+        // NaN/Inf previously sailed through to `inf as u64` saturation.
+        assert!(try_sample_size(f64::NAN, 1.0, 0.05, 1.96).is_err());
+        assert!(try_sample_size(f64::INFINITY, 1.0, 0.05, 1.96).is_err());
+        assert!(try_sample_size(10.0, f64::NAN, 0.05, 1.96).is_err());
+        assert!(try_sample_size(10.0, f64::INFINITY, 0.05, 1.96).is_err());
+        assert!(try_sample_size(10.0, 1.0, f64::NAN, 1.96).is_err());
+        assert!(try_sample_size(10.0, 1.0, 0.05, f64::INFINITY).is_err());
+        assert!(try_sampling_error(10.0, 1.0, 0, 1.96).is_err());
+        assert!(try_sample_size_from_cov(f64::NAN, 0.05, 1.96).is_err());
+        assert!(try_sample_size_from_cov(-0.1, 0.05, 1.96).is_err());
+    }
+
+    #[test]
+    fn try_errors_are_typed() {
+        use crate::error::StatsError;
+        match try_sample_size(0.0, 1.0, 0.05, 1.96) {
+            Err(StatsError::NonPositive { what, .. }) => {
+                assert_eq!(what, "mean execution time");
+            }
+            other => panic!("expected NonPositive, got {other:?}"),
+        }
+        match try_sample_size(f64::NAN, 1.0, 0.05, 1.96) {
+            Err(StatsError::NonFinite { what, .. }) => {
+                assert_eq!(what, "mean execution time");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 }

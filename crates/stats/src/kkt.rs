@@ -32,6 +32,7 @@
 //!   the residual error budget — the standard capped Neyman-allocation
 //!   iteration. This situation is common in small Rodinia-style workloads.
 
+use crate::error::{ensure_nonnegative_finite, ensure_positive_finite, StatsError};
 
 /// Per-cluster statistics consumed by the solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,16 +46,31 @@ pub struct ClusterStat {
 }
 
 impl ClusterStat {
-    /// Convenience constructor.
+    /// Validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `n == 0`, `mean` is nonpositive or
+    /// non-finite, or `std_dev` is negative or non-finite.
+    pub fn try_new(n: u64, mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if n == 0 {
+            return Err(StatsError::TooFew { what: "cluster invocation count", got: 0, min: 1 });
+        }
+        ensure_positive_finite("cluster mean", mean)?;
+        ensure_nonnegative_finite("cluster std dev", std_dev)?;
+        Ok(ClusterStat { n, mean, std_dev })
+    }
+
+    /// Panicking convenience wrapper over [`ClusterStat::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `mean <= 0`, or `std_dev < 0`.
+    /// Panics on any input [`ClusterStat::try_new`] rejects.
     pub fn new(n: u64, mean: f64, std_dev: f64) -> Self {
-        assert!(n > 0, "cluster must contain at least one invocation");
-        assert!(mean > 0.0, "cluster mean must be positive, got {mean}");
-        assert!(std_dev >= 0.0, "cluster std dev must be nonnegative");
-        ClusterStat { n, mean, std_dev }
+        match ClusterStat::try_new(n, mean, std_dev) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Total execution time contributed by the cluster (`N_i * mu_i`).
@@ -102,9 +118,37 @@ impl KktSolution {
 /// their population are fully simulated and excluded from the error budget
 /// (their estimate is exact), with the remaining clusters re-optimized.
 ///
+/// # Errors
+///
+/// Returns [`StatsError`] if `clusters` is empty, `epsilon`/`z` are
+/// nonpositive or non-finite, or any cluster carries a degenerate statistic
+/// (empty, nonpositive/non-finite mean, negative/non-finite std dev) — the
+/// offending cluster is identified by [`StatsError::AtCluster`].
+pub fn try_solve_sample_sizes(
+    clusters: &[ClusterStat],
+    epsilon: f64,
+    z: f64,
+) -> Result<KktSolution, StatsError> {
+    if clusters.is_empty() {
+        return Err(StatsError::Empty { what: "cluster list" });
+    }
+    ensure_positive_finite("error bound", epsilon)?;
+    ensure_positive_finite("z-score", z)?;
+    for (i, c) in clusters.iter().enumerate() {
+        // Re-validate: `ClusterStat` fields are public, so a stat built by
+        // struct literal (or mutated since `try_new`) can be degenerate.
+        if let Err(e) = ClusterStat::try_new(c.n, c.mean, c.std_dev) {
+            return Err(StatsError::AtCluster { index: i, source: Box::new(e) });
+        }
+    }
+    Ok(solve_validated(clusters, epsilon, z))
+}
+
+/// Panicking convenience wrapper over [`try_solve_sample_sizes`].
+///
 /// # Panics
 ///
-/// Panics if `clusters` is empty, or `epsilon <= 0`, or `z <= 0`.
+/// Panics on any input [`try_solve_sample_sizes`] rejects.
 ///
 /// # Example
 ///
@@ -121,15 +165,14 @@ impl KktSolution {
 /// assert!(sol.sizes[0] > sol.sizes[1]);
 /// ```
 pub fn solve_sample_sizes(clusters: &[ClusterStat], epsilon: f64, z: f64) -> KktSolution {
-    assert!(!clusters.is_empty(), "at least one cluster is required");
-    assert!(epsilon > 0.0, "error bound must be positive, got {epsilon}");
-    assert!(z > 0.0, "z-score must be positive, got {z}");
-    for (i, c) in clusters.iter().enumerate() {
-        assert!(c.n > 0, "cluster {i} has no invocations");
-        assert!(c.mean > 0.0, "cluster {i} has nonpositive mean {}", c.mean);
-        assert!(c.std_dev >= 0.0, "cluster {i} has negative std dev");
+    match try_solve_sample_sizes(clusters, epsilon, z) {
+        Ok(sol) => sol,
+        Err(e) => panic!("{e}"),
     }
+}
 
+/// The capped Neyman-allocation iteration over pre-validated inputs.
+fn solve_validated(clusters: &[ClusterStat], epsilon: f64, z: f64) -> KktSolution {
     let total_time: f64 = clusters.iter().map(ClusterStat::total_time).sum();
     let c_budget = (epsilon * total_time / z).powi(2);
 
@@ -218,6 +261,35 @@ pub fn solve_sample_sizes(clusters: &[ClusterStat], epsilon: f64, z: f64) -> Kkt
 /// The paper reports that joint KKT optimization reduces the total sample
 /// size by 2–3x versus this per-cluster allocation; the `ablation-kkt`
 /// harness reproduces that comparison.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] on the same degenerate inputs as
+/// [`try_solve_sample_sizes`].
+pub fn try_per_cluster_sample_sizes(
+    clusters: &[ClusterStat],
+    epsilon: f64,
+    z: f64,
+) -> Result<Vec<u64>, StatsError> {
+    if clusters.is_empty() {
+        return Err(StatsError::Empty { what: "cluster list" });
+    }
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            crate::clt::try_sample_size(c.mean, c.std_dev, epsilon, z)
+                .map(|m| m.min(c.n.max(1)))
+                .map_err(|e| StatsError::AtCluster { index: i, source: Box::new(e) })
+        })
+        .collect()
+}
+
+/// Panicking convenience wrapper over [`try_per_cluster_sample_sizes`].
+///
+/// # Panics
+///
+/// Panics on any input [`try_per_cluster_sample_sizes`] rejects.
 pub fn per_cluster_sample_sizes(clusters: &[ClusterStat], epsilon: f64, z: f64) -> Vec<u64> {
     clusters
         .iter()
@@ -362,14 +434,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one cluster")]
+    #[should_panic(expected = "cluster list must not be empty")]
     fn rejects_empty_input() {
         solve_sample_sizes(&[], 0.05, 1.96);
     }
 
     #[test]
-    #[should_panic(expected = "cluster must contain at least one invocation")]
+    #[should_panic(expected = "cluster invocation count: got 0, need at least 1")]
     fn rejects_empty_cluster() {
         ClusterStat::new(0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn try_solver_matches_panicking_on_valid_input() {
+        let clusters = vec![big(100_000, 10.0, 4.0), big(50_000, 200.0, 2.0)];
+        let sol = try_solve_sample_sizes(&clusters, 0.05, 1.96).expect("valid");
+        assert_eq!(sol, solve_sample_sizes(&clusters, 0.05, 1.96));
+        let per = try_per_cluster_sample_sizes(&clusters, 0.05, 1.96).expect("valid");
+        assert_eq!(per, per_cluster_sample_sizes(&clusters, 0.05, 1.96));
+    }
+
+    #[test]
+    fn try_solver_pinpoints_degenerate_cluster() {
+        // A NaN mean smuggled in via struct literal must be caught and
+        // attributed to the right cluster index.
+        let clusters = vec![
+            big(1000, 10.0, 4.0),
+            ClusterStat { n: 1000, mean: f64::NAN, std_dev: 1.0 },
+        ];
+        match try_solve_sample_sizes(&clusters, 0.05, 1.96) {
+            Err(StatsError::AtCluster { index, source }) => {
+                assert_eq!(index, 1);
+                assert!(matches!(*source, StatsError::NonFinite { .. }));
+            }
+            other => panic!("expected AtCluster, got {other:?}"),
+        }
+        assert!(try_solve_sample_sizes(&[], 0.05, 1.96).is_err());
+        assert!(try_solve_sample_sizes(&clusters[..1], f64::NAN, 1.96).is_err());
+        assert!(try_solve_sample_sizes(&clusters[..1], 0.05, 0.0).is_err());
     }
 }

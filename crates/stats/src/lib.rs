@@ -46,6 +46,7 @@
 
 pub mod bound;
 pub mod clt;
+pub mod error;
 pub mod histogram;
 pub mod kde;
 pub mod kkt;
@@ -57,7 +58,8 @@ pub mod student_t;
 pub mod summary;
 
 pub use bound::{theoretical_error, union_bound_holds};
-pub use clt::{sample_size, sampling_error};
-pub use kkt::{ClusterStat, KktSolution, solve_sample_sizes};
+pub use clt::{sample_size, sampling_error, try_sample_size, try_sampling_error};
+pub use error::StatsError;
+pub use kkt::{ClusterStat, KktSolution, solve_sample_sizes, try_solve_sample_sizes};
 pub use normal::z_for_confidence;
 pub use summary::Summary;

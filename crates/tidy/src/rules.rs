@@ -10,6 +10,10 @@
 //! * **hot paths** — `stats`, `cluster`, `core`, `sim`: the crates on the
 //!   per-invocation simulation path, where a stray `panic!` would take down
 //!   a long sampling run.
+//! * **ingestion paths** — `profile` plus `workload/src/io.rs`: code that
+//!   parses or validates *external* data (profiler CSVs, workload text
+//!   documents, raw traces). Malformed input there must surface as a typed
+//!   error, so the whole `panic!`/`assert!` family is banned.
 //! * **everywhere** — all `.rs` files outside `#[cfg(test)]`/`#[test]`
 //!   regions, including benches and examples.
 
@@ -21,17 +25,19 @@ pub const NO_ENTROPY_RNG: &str = "no-entropy-rng";
 pub const NO_UNWRAP: &str = "no-unwrap";
 pub const NO_FLOAT_EQ: &str = "no-float-eq";
 pub const NO_PANIC: &str = "no-panic";
+pub const NO_INGEST_PANIC: &str = "no-ingest-panic";
 pub const LINT_HEADERS: &str = "lint-headers";
 pub const NO_DEBUG_PRINT: &str = "no-debug-print";
 pub const HYGIENE: &str = "hygiene";
 
 /// Every rule name, in reporting order.
-pub const ALL_RULES: [&str; 8] = [
+pub const ALL_RULES: [&str; 9] = [
     HERMETIC_DEPS,
     NO_ENTROPY_RNG,
     NO_UNWRAP,
     NO_FLOAT_EQ,
     NO_PANIC,
+    NO_INGEST_PANIC,
     LINT_HEADERS,
     NO_DEBUG_PRINT,
     HYGIENE,
@@ -56,6 +62,10 @@ const HOT_SRC_PREFIXES: [&str; 4] = [
     "crates/core/src/",
     "crates/sim/src/",
 ];
+
+/// Ingestion paths: library code that parses or validates external data
+/// (the whole `panic!`/`assert!` family is banned, asserts included).
+const INGEST_SRC_PREFIXES: [&str; 2] = ["crates/profile/src/", "crates/workload/src/io.rs"];
 
 /// Files longer than this are flagged by the hygiene rule.
 pub const MAX_FILE_LINES: usize = 1500;
@@ -87,11 +97,16 @@ fn in_hot_src(path: &str) -> bool {
     HOT_SRC_PREFIXES.iter().any(|p| path.starts_with(p))
 }
 
+fn in_ingest_src(path: &str) -> bool {
+    INGEST_SRC_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
 /// Scan one `.rs` file (already lexed) against every source rule.
 pub fn check_rust_file(path: &str, lines: &[Line]) -> Vec<Violation> {
     let mut out = Vec::new();
     let lib = in_lib_src(path);
     let hot = in_hot_src(path);
+    let ingest = in_ingest_src(path);
 
     for (idx, line) in lines.iter().enumerate() {
         let n = idx + 1;
@@ -148,6 +163,26 @@ pub fn check_rust_file(path: &str, lines: &[Line]) -> Vec<Violation> {
                             n,
                             NO_PANIC,
                             format!("`{pat}..)` on the simulation hot path; bubble an error instead"),
+                        ));
+                    }
+                }
+            }
+
+            if ingest {
+                for pat in [
+                    "panic!(",
+                    "assert!(",
+                    "assert_eq!(",
+                    "assert_ne!(",
+                    "todo!(",
+                    "unimplemented!(",
+                ] {
+                    if code.contains(pat) {
+                        out.push(Violation::new(
+                            path,
+                            n,
+                            NO_INGEST_PANIC,
+                            format!("`{pat}..)` on a data-ingestion path; malformed external input must surface as a typed error, never a panic (allowlistable with justification)"),
                         ));
                     }
                 }
@@ -353,7 +388,33 @@ mod tests {
         assert_eq!(check("crates/stats/src/a.rs", "panic!(\"x\");\n")[0].rule, NO_PANIC);
         assert_eq!(check("crates/core/src/a.rs", "todo!()\n")[0].rule, NO_PANIC);
         assert_eq!(check("crates/core/src/a.rs", "todo!(\"later\")\n")[0].rule, NO_PANIC);
-        assert!(check("crates/profile/src/a.rs", "panic!(\"x\");\n").is_empty());
+        assert!(check("crates/baselines/src/a.rs", "panic!(\"x\");\n").is_empty());
+    }
+
+    #[test]
+    fn ingestion_paths_ban_the_whole_assert_family() {
+        for (src, pat) in [
+            ("panic!(\"x\");\n", "panic!"),
+            ("assert!(ok, \"x\");\n", "assert!"),
+            ("assert_eq!(a, b);\n", "assert_eq!"),
+            ("assert_ne!(a, b);\n", "assert_ne!"),
+        ] {
+            let v = check("crates/profile/src/a.rs", src);
+            assert_eq!(v.len(), 1, "{src}: {v:?}");
+            assert_eq!(v[0].rule, NO_INGEST_PANIC, "{src}");
+            assert!(v[0].message.contains(pat), "{src}: {}", v[0].message);
+            let v = check("crates/workload/src/io.rs", src);
+            assert_eq!(v.len(), 1, "{src} in io.rs");
+            assert_eq!(v[0].rule, NO_INGEST_PANIC);
+        }
+        // The rest of the workload crate keeps its structural asserts.
+        assert!(check("crates/workload/src/a.rs", "assert!(ok);\n").is_empty());
+        // Test modules on ingestion paths assert freely.
+        let v = check(
+            "crates/profile/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { assert_eq!(1, 1); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Fixture: `panic!`/`assert!` in trace-ingestion code (`no-ingest-panic`).
+
+pub fn parse_cell(cells: &[&str]) -> f64 {
+    assert!(!cells.is_empty(), "no cells");
+    if cells.len() > 3 {
+        panic!("too many cells");
+    }
+    cells[0].parse().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_in_tests_are_fine() {
+        assert_eq!(super::parse_cell(&["2.5"]), 2.5);
+    }
+}

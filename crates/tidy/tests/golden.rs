@@ -28,7 +28,7 @@ fn build_tree(tag: &str, files: &[(&str, &str)]) -> PathBuf {
     root
 }
 
-const TREE: [(&str, &str); 9] = [
+const TREE: [(&str, &str); 10] = [
     ("crates/core/src/entropy.rs", "entropy.rs"),
     ("crates/core/src/unwrap.rs", "unwrap.rs"),
     ("crates/sim/src/float_eq.rs", "float_eq.rs"),
@@ -36,6 +36,7 @@ const TREE: [(&str, &str); 9] = [
     ("crates/cluster/src/debug_print.rs", "debug_print.rs"),
     ("crates/workload/src/lib.rs", "no_headers_lib.rs"),
     ("crates/profile/src/lib.rs", "clean_lib.rs"),
+    ("crates/profile/src/ingest_panic.rs", "ingest_panic.rs"),
     ("crates/baselines/src/hygiene.rs", "hygiene.rs"),
     ("crates/core/Cargo.toml", "bad_manifest.toml"),
 ];
@@ -63,6 +64,8 @@ fn fixtures_produce_exactly_the_golden_diagnostics() {
         ("crates/core/src/entropy.rs".into(), 3, "no-entropy-rng"),
         ("crates/core/src/unwrap.rs".into(), 4, "no-unwrap"),
         ("crates/core/src/unwrap.rs".into(), 8, "no-unwrap"),
+        ("crates/profile/src/ingest_panic.rs".into(), 4, "no-ingest-panic"),
+        ("crates/profile/src/ingest_panic.rs".into(), 6, "no-ingest-panic"),
         ("crates/sim/src/float_eq.rs".into(), 4, "no-float-eq"),
         ("crates/stats/src/panic.rs".into(), 3, "no-panic"),
         ("crates/stats/src/panic.rs".into(), 7, "no-panic"),

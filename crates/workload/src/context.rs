@@ -10,6 +10,7 @@
 //! one histogram peak; several contexts produce the multi-modal histograms
 //! of Figure 1.
 
+use crate::error::{WorkloadError, WorkloadErrorKind};
 
 /// One runtime usage pattern of a kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,19 +43,36 @@ impl RuntimeContext {
 
     /// Validates ranges.
     ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if any scale is nonpositive or non-finite,
+    /// or `jitter_cov` is outside `[0, 3]` (implausibly large jitter).
+    pub fn try_validate(&self) -> Result<(), WorkloadError> {
+        let fail = |message: String| Err(WorkloadError::new(WorkloadErrorKind::Context, message));
+        if !(self.work_scale > 0.0 && self.work_scale.is_finite()) {
+            return fail("work_scale must be positive".to_string());
+        }
+        if !(self.footprint_scale > 0.0 && self.footprint_scale.is_finite()) {
+            return fail("footprint_scale must be positive".to_string());
+        }
+        if !(self.locality_boost > 0.0 && self.locality_boost.is_finite()) {
+            return fail("locality_boost must be positive".to_string());
+        }
+        if !(0.0..=3.0).contains(&self.jitter_cov) {
+            return fail(format!("jitter_cov must be in [0, 3], got {}", self.jitter_cov));
+        }
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper over [`RuntimeContext::try_validate`].
+    ///
     /// # Panics
     ///
-    /// Panics if any scale is nonpositive or `jitter_cov` is negative or
-    /// implausibly large (> 3).
+    /// Panics on any violation [`RuntimeContext::try_validate`] reports.
     pub fn validate(&self) {
-        assert!(self.work_scale > 0.0, "work_scale must be positive");
-        assert!(self.footprint_scale > 0.0, "footprint_scale must be positive");
-        assert!(self.locality_boost > 0.0, "locality_boost must be positive");
-        assert!(
-            (0.0..=3.0).contains(&self.jitter_cov),
-            "jitter_cov must be in [0, 3], got {}",
-            self.jitter_cov
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Returns a copy with a different work scale.

@@ -101,10 +101,10 @@ pub fn to_text(workload: &Workload) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseWorkloadError`] on malformed input. Structural validity
-/// (index ranges, positive values) is enforced by [`Workload::new`], which
-/// panics on violations the way the rest of the crate does; this parser
-/// converts *syntactic* problems into errors.
+/// Returns [`ParseWorkloadError`] on malformed input — both *syntactic*
+/// problems (bad numbers, short records) and *semantic* violations (index
+/// ranges, degenerate values) reported by [`Workload::try_new`]. An
+/// external document can never panic the parser.
 pub fn from_text(text: &str) -> Result<Workload, ParseWorkloadError> {
     let mut name = String::from("unnamed");
     let mut suite = SuiteKind::Custom;
@@ -152,6 +152,16 @@ pub fn from_text(text: &str) -> Result<Workload, ParseWorkloadError> {
                     s.parse().map_err(|_| err(line_no, "bad integer"))
                 };
                 let bbv: Result<Vec<f64>, _> = rest[15].split(',').map(f).collect();
+                let mix = InstructionMix::try_new(
+                    f(rest[6])?,
+                    f(rest[7])?,
+                    f(rest[8])?,
+                    f(rest[9])?,
+                    f(rest[10])?,
+                    f(rest[11])?,
+                    f(rest[12])?,
+                )
+                .map_err(|e| err(line_no, &e.to_string()))?;
                 kernels.push(KernelClass {
                     name: rest[0].to_string(),
                     grid_dim: u(rest[1])? as u32,
@@ -159,15 +169,7 @@ pub fn from_text(text: &str) -> Result<Workload, ParseWorkloadError> {
                     regs_per_thread: u(rest[3])? as u32,
                     shared_mem_per_cta: u(rest[4])? as u32,
                     instr_per_thread: u(rest[5])?,
-                    mix: InstructionMix::new(
-                        f(rest[6])?,
-                        f(rest[7])?,
-                        f(rest[8])?,
-                        f(rest[9])?,
-                        f(rest[10])?,
-                        f(rest[11])?,
-                        f(rest[12])?,
-                    ),
+                    mix,
                     footprint_bytes: u(rest[13])?,
                     reuse_factor: f(rest[14])?,
                     bbv_template: bbv?,
@@ -211,7 +213,10 @@ pub fn from_text(text: &str) -> Result<Workload, ParseWorkloadError> {
     if kernels.is_empty() {
         return Err(err(text.lines().count().max(1), "no kernels defined"));
     }
-    Ok(Workload::new(name, suite, kernels, contexts, invocations))
+    // Semantic violations (index ranges, degenerate values) become parse
+    // errors too: this is an ingestion path, so bad input must never panic.
+    Workload::try_new(name, suite, kernels, contexts, invocations)
+        .map_err(|e| err(text.lines().count().max(1), &e.to_string()))
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! memory footprint and the basic-block vector template. Runtime variation
 //! lives in [`crate::context`].
 
+use crate::error::{WorkloadError, WorkloadErrorKind};
 
 /// Fractions of the dynamic instruction stream by class. Must sum to 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,11 +29,11 @@ pub struct InstructionMix {
 impl InstructionMix {
     /// Validates and constructs a mix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any fraction is negative or the sum differs from 1 by more
-    /// than 1e-6.
-    pub fn new(
+    /// Returns [`WorkloadError`] if any fraction is negative or non-finite,
+    /// or the sum differs from 1 by more than 1e-6.
+    pub fn try_new(
         fp32: f64,
         fp16: f64,
         int_alu: f64,
@@ -40,7 +41,7 @@ impl InstructionMix {
         ldst_shared: f64,
         branch: f64,
         special: f64,
-    ) -> Self {
+    ) -> Result<Self, WorkloadError> {
         let mix = InstructionMix {
             fp32,
             fp16,
@@ -51,14 +52,48 @@ impl InstructionMix {
             special,
         };
         for (name, v) in mix.named() {
-            assert!(v >= 0.0, "instruction-mix fraction {name} is negative");
+            if !v.is_finite() {
+                return Err(WorkloadError::new(
+                    WorkloadErrorKind::Mix,
+                    format!("instruction-mix fraction {name} is not finite"),
+                ));
+            }
+            if v < 0.0 {
+                return Err(WorkloadError::new(
+                    WorkloadErrorKind::Mix,
+                    format!("instruction-mix fraction {name} is negative"),
+                ));
+            }
         }
         let sum = mix.sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6,
-            "instruction-mix fractions must sum to 1, got {sum}"
-        );
-        mix
+        if (sum - 1.0).abs() >= 1e-6 {
+            return Err(WorkloadError::new(
+                WorkloadErrorKind::Mix,
+                format!("instruction-mix fractions must sum to 1, got {sum}"),
+            ));
+        }
+        Ok(mix)
+    }
+
+    /// Panicking convenience wrapper over [`InstructionMix::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`InstructionMix::try_new`] rejects.
+    pub fn new(
+        fp32: f64,
+        fp16: f64,
+        int_alu: f64,
+        ldst_global: f64,
+        ldst_shared: f64,
+        branch: f64,
+        special: f64,
+    ) -> Self {
+        match InstructionMix::try_new(fp32, fp16, int_alu, ldst_global, ldst_shared, branch, special)
+        {
+            Ok(mix) => mix,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A GEMM-like compute-bound mix.
@@ -144,33 +179,45 @@ pub struct KernelClass {
 impl KernelClass {
     /// Validates invariant ranges.
     ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if geometry or counts are zero,
+    /// `reuse_factor < 1` (or non-finite), or the BBV template is empty.
+    pub fn try_validate(&self) -> Result<(), WorkloadError> {
+        let fail = |message: String| Err(WorkloadError::new(WorkloadErrorKind::Kernel, message));
+        if self.name.is_empty() {
+            return fail("kernel name must be nonempty".to_string());
+        }
+        if self.grid_dim == 0 {
+            return fail(format!("kernel {} has zero grid", self.name));
+        }
+        if self.block_dim == 0 {
+            return fail(format!("kernel {} has zero block", self.name));
+        }
+        if self.instr_per_thread == 0 {
+            return fail(format!("kernel {} has zero instructions", self.name));
+        }
+        if self.footprint_bytes == 0 {
+            return fail(format!("kernel {} has zero footprint", self.name));
+        }
+        if !(self.reuse_factor >= 1.0 && self.reuse_factor.is_finite()) {
+            return fail(format!("kernel {} has reuse factor < 1", self.name));
+        }
+        if self.bbv_template.is_empty() {
+            return fail(format!("kernel {} has an empty BBV template", self.name));
+        }
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper over [`KernelClass::try_validate`].
+    ///
     /// # Panics
     ///
-    /// Panics if geometry or counts are zero, or `reuse_factor < 1`.
+    /// Panics on any violation [`KernelClass::try_validate`] reports.
     pub fn validate(&self) {
-        assert!(!self.name.is_empty(), "kernel name must be nonempty");
-        assert!(self.grid_dim > 0, "kernel {} has zero grid", self.name);
-        assert!(self.block_dim > 0, "kernel {} has zero block", self.name);
-        assert!(
-            self.instr_per_thread > 0,
-            "kernel {} has zero instructions",
-            self.name
-        );
-        assert!(
-            self.footprint_bytes > 0,
-            "kernel {} has zero footprint",
-            self.name
-        );
-        assert!(
-            self.reuse_factor >= 1.0,
-            "kernel {} has reuse factor < 1",
-            self.name
-        );
-        assert!(
-            !self.bbv_template.is_empty(),
-            "kernel {} has an empty BBV template",
-            self.name
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Total threads in the launch.
@@ -257,6 +304,17 @@ impl KernelClassBuilder {
     pub fn bbv(mut self, template: Vec<f64>) -> Self {
         self.inner.bbv_template = template;
         self
+    }
+
+    /// Finishes, validating invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if the resulting kernel fails
+    /// [`KernelClass::try_validate`].
+    pub fn try_build(self) -> Result<KernelClass, WorkloadError> {
+        self.inner.try_validate()?;
+        Ok(self.inner)
     }
 
     /// Finishes, validating invariants.

@@ -34,6 +34,7 @@
 pub mod builder;
 pub mod chakra;
 pub mod context;
+pub mod error;
 pub mod invocation;
 pub mod io;
 pub mod kernel;
@@ -44,6 +45,7 @@ pub mod trace;
 pub use builder::WorkloadBuilder;
 pub use chakra::{EtNode, EtOp, ExecutionTrace};
 pub use context::{ContextSchedule, RuntimeContext};
+pub use error::{WorkloadError, WorkloadErrorKind};
 pub use invocation::{Invocation, KernelId};
 pub use kernel::{InstructionMix, KernelClass};
 pub use metrics::{MetricCategory, MetricKind, MetricVector, METRIC_COUNT};

@@ -2,6 +2,7 @@
 //! the invocation stream.
 
 use crate::context::RuntimeContext;
+use crate::error::{WorkloadError, WorkloadErrorKind};
 use crate::invocation::{Invocation, KernelId};
 use crate::kernel::KernelClass;
 use std::collections::BTreeMap;
@@ -46,11 +47,82 @@ pub struct Workload {
 impl Workload {
     /// Assembles and validates a workload.
     ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if tables are inconsistent: no kernels,
+    /// context table length mismatch, kernels without contexts, invocations
+    /// referencing out-of-range kernels/contexts, or invalid component
+    /// values.
+    pub fn try_new(
+        name: impl Into<String>,
+        suite: SuiteKind,
+        kernels: Vec<KernelClass>,
+        contexts: Vec<Vec<RuntimeContext>>,
+        invocations: Vec<Invocation>,
+    ) -> Result<Self, WorkloadError> {
+        let name = name.into();
+        let structure =
+            |message: String| Err(WorkloadError::new(WorkloadErrorKind::Structure, message));
+        if kernels.is_empty() {
+            return structure(format!("workload {name} has no kernels"));
+        }
+        if kernels.len() != contexts.len() {
+            return structure(format!(
+                "workload {name}: one context table per kernel required \
+                 ({} kernels, {} context tables)",
+                kernels.len(),
+                contexts.len()
+            ));
+        }
+        for k in &kernels {
+            k.try_validate()?;
+        }
+        for (k, ctxs) in contexts.iter().enumerate() {
+            if ctxs.is_empty() {
+                return structure(format!(
+                    "workload {name}: kernel {} has no contexts",
+                    kernels[k].name
+                ));
+            }
+            for c in ctxs {
+                c.try_validate()?;
+            }
+        }
+        for (i, inv) in invocations.iter().enumerate() {
+            let k = inv.kernel.index();
+            if k >= kernels.len() {
+                return Err(WorkloadError::new(
+                    WorkloadErrorKind::Invocation,
+                    format!(
+                        "workload {name}: invocation {i} references kernel {k} out of range"
+                    ),
+                ));
+            }
+            if (inv.context as usize) >= contexts[k].len() {
+                return Err(WorkloadError::new(
+                    WorkloadErrorKind::Invocation,
+                    format!(
+                        "workload {name}: invocation {i} references context {} of kernel {} \
+                         out of range",
+                        inv.context, kernels[k].name
+                    ),
+                ));
+            }
+        }
+        Ok(Workload {
+            name,
+            suite,
+            kernels,
+            contexts,
+            invocations,
+        })
+    }
+
+    /// Panicking convenience wrapper over [`Workload::try_new`].
+    ///
     /// # Panics
     ///
-    /// Panics if tables are inconsistent: no kernels, context table length
-    /// mismatch, kernels without contexts, invocations referencing
-    /// out-of-range kernels/contexts, or invalid component values.
+    /// Panics on any input [`Workload::try_new`] rejects.
     pub fn new(
         name: impl Into<String>,
         suite: SuiteKind,
@@ -58,45 +130,9 @@ impl Workload {
         contexts: Vec<Vec<RuntimeContext>>,
         invocations: Vec<Invocation>,
     ) -> Self {
-        let name = name.into();
-        assert!(!kernels.is_empty(), "workload {name} has no kernels");
-        assert_eq!(
-            kernels.len(),
-            contexts.len(),
-            "workload {name}: one context table per kernel required"
-        );
-        for k in &kernels {
-            k.validate();
-        }
-        for (k, ctxs) in contexts.iter().enumerate() {
-            assert!(
-                !ctxs.is_empty(),
-                "workload {name}: kernel {} has no contexts",
-                kernels[k].name
-            );
-            for c in ctxs {
-                c.validate();
-            }
-        }
-        for (i, inv) in invocations.iter().enumerate() {
-            let k = inv.kernel.index();
-            assert!(
-                k < kernels.len(),
-                "workload {name}: invocation {i} references kernel {k} out of range"
-            );
-            assert!(
-                (inv.context as usize) < contexts[k].len(),
-                "workload {name}: invocation {i} references context {} of kernel {} out of range",
-                inv.context,
-                kernels[k].name
-            );
-        }
-        Workload {
-            name,
-            suite,
-            kernels,
-            contexts,
-            invocations,
+        match Workload::try_new(name, suite, kernels, contexts, invocations) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
         }
     }
 

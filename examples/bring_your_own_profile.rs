@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|inv| sim.cycles(original, inv))
             .collect();
-        let profile = ExecTimeProfile::new(original.name(), times);
-        std::fs::write(&profile_path, profile.to_csv_string())?;
+        let profile = ExecTimeProfile::new(original.name(), times)?;
+        std::fs::write(&profile_path, profile.to_csv_string()?)?;
     }
 
     // --- The "import" side: plan purely from the files. -----------------

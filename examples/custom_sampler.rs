@@ -34,7 +34,7 @@ impl KernelSampler for SystematicSampler {
     }
 }
 
-fn main() {
+fn main() -> Result<(), stem::core::StemError> {
     // A custom workload: one stable GEMM and one bimodal, memory-bound
     // scatter kernel, interleaved.
     let mut b = WorkloadBuilder::new("custom_app", SuiteKind::Custom, 99);
@@ -66,7 +66,7 @@ fn main() {
     let workload = b.build();
 
     let sim = Simulator::new(GpuConfig::rtx2080());
-    let pipeline = Pipeline::new(sim).with_reps(5);
+    let pipeline = Pipeline::new(sim).with_reps(5)?;
     let full = pipeline.full_run(&workload);
 
     let stem = StemRootSampler::new(StemConfig::default());
@@ -84,4 +84,5 @@ fn main() {
             summary.method, summary.mean_error_pct, summary.harmonic_speedup
         );
     }
+    Ok(())
 }

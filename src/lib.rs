@@ -67,8 +67,13 @@ pub mod prelude {
     pub use stem_baselines::{
         PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler,
     };
+    pub use gpu_profile::{
+        DataQualityReport, Fault, FaultPlan, TraceRecord, TraceValidator,
+    };
     pub use stem_core::sampler::KernelSampler;
-    pub use stem_core::{Pipeline, SamplingPlan, StemConfig, StemRootSampler};
+    pub use stem_core::{
+        Pipeline, RecoveryPolicy, SamplingPlan, StemConfig, StemError, StemRootSampler,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,175 @@
+//! Chaos suite: the acceptance gate for the fault-hardened pipeline.
+//!
+//! For every fault class in the taxonomy ([`FaultPlan::all_classes`]) and
+//! one workload from each of the three synthetic suites, the pipeline
+//! must (1) complete without panicking, (2) emit a non-empty
+//! [`DataQualityReport`] naming what was repaired or quarantined, and
+//! (3) keep its degraded confidence interval covering the clean-trace
+//! ground truth — the error bound stays honest because STEM inflates
+//! per-cluster variance by the degraded fraction and buys the bound back
+//! with more samples.
+//!
+//! Everything is seeded: the suites, the profiler, the fault plans and the
+//! sampler all draw from the in-tree deterministic generator, so a failure
+//! replays exactly.
+
+use stem::prelude::*;
+use stem::profile::validate::trace_to_csv;
+use stem::profile::ExecTimeProfiler;
+
+/// The paper's bound (5%) plus the 1%-slack convention the accuracy tests
+/// use for probabilistic intervals.
+const CLEAN_SLACK_PCT: f64 = 6.0;
+
+fn pipeline(reps: u32) -> Pipeline {
+    Pipeline::new(Simulator::new(GpuConfig::rtx2080()))
+        .with_reps(reps)
+        .expect("positive reps")
+}
+
+/// A clean profiler trace for `w`: per-invocation times from the built-in
+/// hardware model, laid out as the back-to-back NSYS record stream.
+fn clean_records(w: &Workload) -> Vec<TraceRecord> {
+    let times = ExecTimeProfiler::new(GpuConfig::rtx2080(), 0xC0FFEE).profile(w);
+    TraceRecord::sequence(&times)
+}
+
+/// One representative workload per suite, sized so the whole sweep stays
+/// fast: 9 fault classes x 3 suites x 2 reps.
+fn suite_workloads() -> Vec<Workload> {
+    let rodinia = rodinia_suite(21);
+    let casio = casio_suite(21);
+    let hf = huggingface_suite(21, HuggingfaceScale::custom(0.02));
+    let pick = |suite: &[Workload]| {
+        suite
+            .iter()
+            .max_by_key(|w| w.num_invocations())
+            .expect("nonempty suite")
+            .clone()
+    };
+    vec![pick(&rodinia), pick(&casio), pick(&hf)]
+}
+
+#[test]
+fn every_fault_class_completes_with_honest_degraded_bounds() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(2);
+    for w in &suite_workloads() {
+        let records = clean_records(w);
+        let csv = trace_to_csv(&records);
+        for plan in FaultPlan::all_classes(0xDECAF) {
+            let fault = plan.faults()[0];
+            let label = fault.label();
+            // Ragged rows are row-level damage: they only exist in the
+            // serialized form, so they enter through the CSV path. Every
+            // other class corrupts the in-memory records.
+            let outcome = if label == "ragged-rows" {
+                pipe.run_from_csv(&sampler, w, &plan.corrupt_csv(&csv))
+            } else {
+                pipe.run_from_profile(&sampler, w, &plan.apply(&records))
+            };
+            let (summary, report) =
+                outcome.unwrap_or_else(|e| panic!("{}/{label}: pipeline failed: {e}", w.name()));
+
+            // (2) The report must name the damage.
+            assert!(
+                !report.is_clean() && report.issue_count() > 0,
+                "{}/{label}: corruption went undetected: {report}",
+                w.name()
+            );
+
+            // (3) The degraded CI still covers the ground-truth mean:
+            // the clean-trace slack widened by the degraded fraction.
+            let bound_pct = CLEAN_SLACK_PCT + 100.0 * report.degraded_fraction();
+            assert!(
+                summary.mean_error_pct < bound_pct,
+                "{}/{label}: error {:.2}% escapes the degraded bound {:.2}% ({report})",
+                w.name(),
+                summary.mean_error_pct,
+                bound_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_traces_report_clean_and_meet_the_paper_bound() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(2);
+    for w in &suite_workloads() {
+        let (summary, report) = pipe
+            .run_from_profile(&sampler, w, &clean_records(w))
+            .unwrap_or_else(|e| panic!("{}: clean trace rejected: {e}", w.name()));
+        assert!(report.is_clean(), "{}: spurious report {report}", w.name());
+        assert!(
+            summary.mean_error_pct < CLEAN_SLACK_PCT,
+            "{}: clean error {:.2}%",
+            w.name(),
+            summary.mean_error_pct
+        );
+    }
+}
+
+#[test]
+fn fail_fast_policy_refuses_every_fault_class() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(1).with_recovery(RecoveryPolicy::FailFast);
+    let suite = suite_workloads();
+    let w = &suite[0];
+    let records = clean_records(w);
+    let csv = trace_to_csv(&records);
+    for plan in FaultPlan::all_classes(0xDECAF) {
+        let label = plan.faults()[0].label();
+        let outcome = if label == "ragged-rows" {
+            pipe.run_from_csv(&sampler, w, &plan.corrupt_csv(&csv))
+        } else {
+            pipe.run_from_profile(&sampler, w, &plan.apply(&records))
+        };
+        match outcome {
+            Err(StemError::DegradedTrace(report)) => {
+                assert!(!report.is_clean(), "{label}: empty refusal report")
+            }
+            Err(e) => panic!("{label}: wrong error class: {e}"),
+            Ok(_) => panic!("{label}: fail-fast accepted a damaged trace"),
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_replay_deterministically() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(1);
+    let suite = suite_workloads();
+    let w = &suite[0];
+    let records = clean_records(w);
+    let plan = FaultPlan::single(7, Fault::Drop { fraction: 0.2 });
+    let (a, ra) = pipe
+        .run_from_profile(&sampler, w, &plan.apply(&records))
+        .expect("first run");
+    let (b, rb) = pipe
+        .run_from_profile(&sampler, w, &plan.apply(&records))
+        .expect("second run");
+    assert_eq!(ra, rb);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn composed_faults_accumulate_in_one_report() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(1);
+    let suite = suite_workloads();
+    let w = &suite[1];
+    let records = clean_records(w);
+    let plan = FaultPlan::new(0xBAD)
+        .with(Fault::Drop { fraction: 0.05 })
+        .with(Fault::Duplicate { fraction: 0.05 })
+        .with(Fault::NanTime { fraction: 0.02 })
+        .with(Fault::Reorder { fraction: 0.1 });
+    let (summary, report) = pipe
+        .run_from_profile(&sampler, w, &plan.apply(&records))
+        .expect("composed corruption is recoverable");
+    assert!(report.duplicates_removed > 0, "{report}");
+    assert!(report.missing_detected > 0, "{report}");
+    assert!(report.out_of_order_fixed > 0, "{report}");
+    assert!(summary.mean_error_pct < CLEAN_SLACK_PCT + 100.0 * report.degraded_fraction());
+}

@@ -187,7 +187,7 @@ fn huggingface_scale_speedup_grows_with_workload() {
 fn full_pipeline_through_facade() {
     let suite = rodinia_suite(115);
     let w = suite.iter().find(|w| w.name() == "hotspot").expect("hotspot");
-    let pipeline = Pipeline::new(rtx()).with_reps(3).with_seed(7);
+    let pipeline = Pipeline::new(rtx()).with_reps(3).expect("positive reps").with_seed(7);
     let sampler = StemRootSampler::new(StemConfig::default());
     let summary = pipeline.run(&sampler, w);
     assert_eq!(summary.method, "STEM");

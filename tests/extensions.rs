@@ -60,9 +60,9 @@ fn external_workload_and_profile_roundtrip_plan() {
         .iter()
         .map(|inv| sim.cycles(&workload, inv))
         .collect();
-    let profile = ExecTimeProfile::new(workload.name(), times);
-    let parsed =
-        ExecTimeProfile::from_csv_string(&profile.to_csv_string()).expect("profile round trip");
+    let profile = ExecTimeProfile::new(workload.name(), times).expect("valid profile");
+    let csv = profile.to_csv_string().expect("serializable profile");
+    let parsed = ExecTimeProfile::from_csv_string(&csv).expect("profile round trip");
 
     let sampler = StemRootSampler::new(StemConfig::default());
     let plan = sampler.plan_from_times(&workload, parsed.times(), 0);
