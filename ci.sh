@@ -6,7 +6,12 @@ cd "$(dirname "$0")"
 
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
-# The chaos suite is part of the workspace run above; keep an explicit
-# invocation so a fault-model regression is named in CI output.
+# The chaos and parallel-equivalence suites are part of the workspace run
+# above; keep explicit invocations so a fault-model or determinism
+# regression is named in CI output.
 cargo test -q --offline --test chaos
+cargo test -q --offline --test parallel_equivalence
+# Threads=1 vs threads=4 smoke check: asserts bit-identical results only;
+# the printed speedup is informational (never a gate).
+cargo test -q --offline -p stem-bench --test scaling_smoke -- --nocapture
 cargo run -p stem-tidy --release --offline

@@ -154,9 +154,11 @@ impl ExperimentOptions {
 }
 
 /// Evaluates one method across a suite, returning one summary per workload
-/// (input order preserved). Workloads are evaluated on parallel threads —
-/// every component is a pure function of its inputs, so parallel and
-/// sequential runs produce identical results.
+/// (input order preserved). Workloads are evaluated on the `stem-par` pool
+/// (`STEM_THREADS` honoured), which merges results by input index — the
+/// report order is pinned to `workloads` order regardless of which worker
+/// finishes first. The old ad-hoc `scope.spawn` version also spawned one
+/// thread per workload, oversubscribing the machine on large suites.
 pub fn eval_method_on_suite(
     method: MethodKind,
     workloads: &[Workload],
@@ -168,16 +170,7 @@ pub fn eval_method_on_suite(
         let full = sim.run_full(w);
         evaluate(sampler.as_ref(), w, &sim, &full, options.reps, options.seed)
     };
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| scope.spawn(move || eval_one(w)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation thread panicked"))
-            .collect()
-    })
+    stem_par::par_map_indexed(stem_par::Parallelism::from_env(), workloads, |_, w| eval_one(w))
 }
 
 /// Suite-level aggregation: harmonic-mean speedup and arithmetic-mean error
@@ -222,6 +215,27 @@ mod tests {
         assert!(MethodKind::Random.feasible_on_huggingface());
         assert!(!MethodKind::Pka.feasible_on_huggingface());
         assert!(!MethodKind::Photon.feasible_on_huggingface());
+    }
+
+    /// Regression for the pre-`stem-par` harness: summaries must come back
+    /// in `workloads` order (not completion order) and match a serial
+    /// in-order loop bitwise.
+    #[test]
+    fn eval_method_preserves_workload_order() {
+        let mut opts = ExperimentOptions::fast();
+        opts.reps = 2;
+        let rodinia = opts.suite(SuiteKind::Rodinia);
+        let workloads: Vec<Workload> = rodinia.into_iter().take(4).collect();
+        let summaries = eval_method_on_suite(MethodKind::Random, &workloads, &opts);
+        assert_eq!(summaries.len(), workloads.len());
+        for (i, (summary, w)) in summaries.iter().zip(&workloads).enumerate() {
+            assert_eq!(summary.workload, w.name(), "summary {i} out of order");
+            let sim = opts.simulator();
+            let sampler = build_sampler(MethodKind::Random, w, &opts.stem_config);
+            let full = sim.run_full(w);
+            let serial = evaluate(sampler.as_ref(), w, &sim, &full, opts.reps, opts.seed);
+            assert_eq!(*summary, serial, "summary {i} diverges from serial eval");
+        }
     }
 
     #[test]

@@ -98,6 +98,88 @@ pub fn group(name: &str) {
     println!("\n== {name}");
 }
 
+/// Outcome of the threads=1 vs threads=N scaling probe
+/// ([`scaling_smoke_check`]).
+#[derive(Debug, Clone)]
+pub struct ScalingCheck {
+    /// Thread count of the parallel run.
+    pub threads: usize,
+    /// Workload the probe ran on.
+    pub workload: String,
+    /// Wall-clock of the serial run, nanoseconds.
+    pub serial_ns: f64,
+    /// Wall-clock of the parallel run, nanoseconds.
+    pub parallel_ns: f64,
+    /// serial / parallel wall-clock ratio.
+    pub speedup: f64,
+    /// Whether the two runs produced bit-identical summaries. This is the
+    /// only field tests may gate on — timing is informational.
+    pub identical: bool,
+}
+
+impl ScalingCheck {
+    fn report(&self) {
+        println!(
+            "scaling {:<36} serial {:>12}  threads={} {:>12}  speedup {:.2}x  identical: {}",
+            self.workload,
+            fmt_ns(self.serial_ns),
+            self.threads,
+            fmt_ns(self.parallel_ns),
+            self.speedup,
+            self.identical
+        );
+    }
+}
+
+/// Runs the full pipeline on the largest workload of the HuggingFace suite
+/// (the paper's biggest synthetic suite) twice — serial, then on `threads`
+/// worker threads — and reports the wall-clock ratio.
+///
+/// Timing is informational only: machines and CI runners vary, so callers
+/// must never fail on `speedup`. The contract worth gating on is
+/// [`ScalingCheck::identical`] — the two runs must produce bit-identical
+/// evaluation summaries.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the suite is empty.
+pub fn scaling_smoke_check(threads: usize) -> ScalingCheck {
+    use crate::harness::ExperimentOptions;
+    use gpu_workload::SuiteKind;
+    use stem_core::{Pipeline, StemRootSampler};
+    use stem_par::Parallelism;
+
+    let options = ExperimentOptions::fast();
+    let suite = options.suite(SuiteKind::Huggingface);
+    let workload = suite
+        .into_iter()
+        .max_by_key(gpu_workload::Workload::num_invocations)
+        .expect("huggingface suite is non-empty");
+    let sampler = StemRootSampler::new(options.stem_config.clone());
+    let run_at = |par: Parallelism| {
+        let pipeline = Pipeline::new(options.simulator())
+            .with_reps(4)
+            .expect("positive reps")
+            .with_seed(options.seed)
+            .with_parallelism(par);
+        let t = Instant::now();
+        let summary = pipeline.run(&sampler, &workload);
+        (t.elapsed().as_nanos() as f64, summary)
+    };
+    let (serial_ns, serial) = run_at(Parallelism::serial());
+    let (parallel_ns, parallel) = run_at(Parallelism::with_threads(threads));
+    let check = ScalingCheck {
+        threads,
+        workload: workload.name().to_string(),
+        serial_ns,
+        parallel_ns,
+        speedup: serial_ns / parallel_ns.max(1.0),
+        identical: serial == parallel,
+    };
+    check.report();
+    check
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,22 @@
+//! Threads=1 vs threads=N smoke check on the largest synthetic suite.
+//!
+//! The assertion is *determinism only*: the parallel run must produce a
+//! bit-identical summary. The measured speedup is printed (run with
+//! `--nocapture` to see it) but never gated on — CI machines are too noisy
+//! for wall-clock thresholds.
+
+use stem_bench::microbench::scaling_smoke_check;
+
+#[test]
+fn parallel_run_matches_serial_and_reports_speedup() {
+    let check = scaling_smoke_check(4);
+    println!(
+        "threads=1 vs threads={}: {:.2}x speedup (informational)",
+        check.threads, check.speedup
+    );
+    assert!(
+        check.identical,
+        "parallel run diverged from serial on {}",
+        check.workload
+    );
+}

@@ -5,7 +5,13 @@
 //! dimension. Fully deterministic under a seed.
 
 use crate::distance::sq_euclidean;
+use stem_par::Parallelism;
 use stem_stats::rng::{RngExt, SeedableRng, StdRng};
+
+/// Point count above which the default entry points opt into the
+/// env-configured parallelism; smaller fits stay serial (thread spawn
+/// overhead would dominate).
+const PAR_POINT_THRESHOLD: usize = 4096;
 
 /// Configuration for [`KMeans::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +84,28 @@ impl KMeans {
     /// nonpositive, `config.k == 0`, or points have inconsistent
     /// dimensionality.
     pub fn fit_weighted(points: &[Vec<f64>], weights: &[f64], config: KMeansConfig) -> Self {
+        let par = if points.len() >= PAR_POINT_THRESHOLD {
+            Parallelism::from_env()
+        } else {
+            Parallelism::serial()
+        };
+        Self::fit_weighted_par(points, weights, config, par)
+    }
+
+    /// [`KMeans::fit_weighted`] with an explicit thread budget for the
+    /// assignment steps. Seeding and the weighted centroid update stay
+    /// serial (they thread an RNG / accumulate across points), so the fit
+    /// is bit-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`KMeans::fit_weighted`].
+    pub fn fit_weighted_par(
+        points: &[Vec<f64>],
+        weights: &[f64],
+        config: KMeansConfig,
+        par: Parallelism,
+    ) -> Self {
         assert!(!points.is_empty(), "k-means needs at least one point");
         assert_eq!(points.len(), weights.len(), "one weight per point required");
         assert!(
@@ -94,10 +122,8 @@ impl KMeans {
 
         let mut assignments = vec![0usize; points.len()];
         for _ in 0..config.max_iter {
-            // Assignment step.
-            for (i, p) in points.iter().enumerate() {
-                assignments[i] = nearest(p, &centroids).0;
-            }
+            // Assignment step: a pure per-point map, spread across threads.
+            assignments = stem_par::par_map_indexed(par, points, |_, p| nearest(p, &centroids).0);
             // Update step (weighted centroids).
             let mut sums = vec![vec![0.0; dim]; centroids.len()];
             let mut totals = vec![0.0f64; centroids.len()];
@@ -122,9 +148,7 @@ impl KMeans {
         }
 
         // Final assignment, then prune empty clusters and re-index.
-        for (i, p) in points.iter().enumerate() {
-            assignments[i] = nearest(p, &centroids).0;
-        }
+        assignments = stem_par::par_map_indexed(par, points, |_, p| nearest(p, &centroids).0);
         let mut used = vec![false; centroids.len()];
         for &a in &assignments {
             used[a] = true;
@@ -282,6 +306,23 @@ mod tests {
         assert_eq!(km.k(), 1);
         assert!((km.centroids()[0][0] - 2.0).abs() < 1e-12);
         assert!((km.centroids()[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical() {
+        let pts = two_blobs();
+        let weights = vec![1.0; pts.len()];
+        let serial =
+            KMeans::fit_weighted_par(&pts, &weights, KMeansConfig::new(3, 42), Parallelism::serial());
+        for threads in [1usize, 2, 3, 8] {
+            let par = KMeans::fit_weighted_par(
+                &pts,
+                &weights,
+                KMeansConfig::new(3, 42),
+                Parallelism::with_threads(threads),
+            );
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

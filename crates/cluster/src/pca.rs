@@ -7,6 +7,11 @@
 
 #![allow(clippy::needless_range_loop)] // symmetric-matrix math reads best indexed
 
+use stem_par::Parallelism;
+
+/// `points × dim` product above which [`Pca::fit`] opts into the
+/// env-configured parallelism; smaller fits stay serial.
+const PAR_CELL_THRESHOLD: usize = 32_768;
 
 /// A fitted PCA model.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +31,26 @@ impl Pca {
     /// Panics if `points` is empty, `n_components == 0`, or points have
     /// inconsistent dimensionality.
     pub fn fit(points: &[Vec<f64>], n_components: usize) -> Self {
+        let cells = points.len().saturating_mul(points.first().map_or(0, Vec::len));
+        let par = if cells >= PAR_CELL_THRESHOLD {
+            Parallelism::from_env()
+        } else {
+            Parallelism::serial()
+        };
+        Self::fit_par(points, n_components, par)
+    }
+
+    /// [`Pca::fit`] with an explicit thread budget for the mean and
+    /// covariance (gram) accumulation. Each dimension's mean and each
+    /// covariance row is accumulated over points in stream order, exactly
+    /// as the serial loop does, so the fit is bit-identical at every
+    /// thread count. The Jacobi eigensolver stays serial (each rotation
+    /// depends on the previous one).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pca::fit`].
+    pub fn fit_par(points: &[Vec<f64>], n_components: usize, par: Parallelism) -> Self {
         assert!(!points.is_empty(), "PCA needs at least one point");
         assert!(n_components > 0, "n_components must be positive");
         let dim = points[0].len();
@@ -33,26 +58,23 @@ impl Pca {
             assert_eq!(p.len(), dim, "points must share a dimensionality");
         }
         let n = points.len() as f64;
-        let mut mean = vec![0.0; dim];
-        for p in points {
-            for (m, &x) in mean.iter_mut().zip(p) {
-                *m += x;
-            }
-        }
-        for m in &mut mean {
-            *m /= n;
-        }
+        let mean: Vec<f64> = stem_par::par_map_range(par, dim, |d| {
+            let sum = points.iter().fold(0.0f64, |acc, p| acc + p[d]);
+            sum / n
+        });
 
-        // Covariance matrix (population).
-        let mut cov = vec![vec![0.0; dim]; dim];
-        for p in points {
-            for i in 0..dim {
+        // Covariance matrix (population), one upper-triangular row per
+        // task; every entry folds over points in stream order.
+        let mut cov = stem_par::par_map_range(par, dim, |i| {
+            let mut row = vec![0.0; dim];
+            for p in points {
                 let di = p[i] - mean[i];
                 for j in i..dim {
-                    cov[i][j] += di * (p[j] - mean[j]);
+                    row[j] += di * (p[j] - mean[j]);
                 }
             }
-        }
+            row
+        });
         for i in 0..dim {
             for j in i..dim {
                 cov[i][j] /= n;
@@ -220,6 +242,24 @@ mod tests {
         // Projections of two symmetric points are opposite.
         for (a, b) in t0.iter().zip(&t1) {
             assert!((a + b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical() {
+        let mut pts = Vec::new();
+        for i in 0..300 {
+            pts.push(vec![
+                i as f64 * 0.7,
+                (i % 13) as f64,
+                ((i * 31) % 17) as f64 * 0.05,
+                (i % 5) as f64 * 2.0,
+            ]);
+        }
+        let serial = Pca::fit_par(&pts, 3, Parallelism::serial());
+        for threads in [1usize, 2, 3, 8] {
+            let par = Pca::fit_par(&pts, 3, Parallelism::with_threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
         }
     }
 

@@ -3,8 +3,9 @@
 //! Sec. 4, citing Eeckhout's "RIP geomean speedup").
 
 use crate::sampler::KernelSampler;
-use gpu_sim::{FullRun, Simulator};
+use gpu_sim::{FullRun, SimCache, Simulator};
 use gpu_workload::Workload;
+use stem_par::Parallelism;
 
 /// One repetition's outcome on one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,18 +101,43 @@ pub fn evaluate(
     reps: u32,
     base_seed: u64,
 ) -> EvalSummary {
+    evaluate_par(sampler, workload, sim, full, reps, base_seed, Parallelism::serial())
+}
+
+/// [`evaluate`] with the repetitions spread across `par` threads.
+///
+/// Every rep's seed is derived from its index (never from the worker that
+/// ran it), reps share a [`SimCache`] of pure timing results, and the
+/// summary aggregates per-rep results in index order — so the outcome is
+/// bit-identical to the serial evaluation at every thread count.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn evaluate_par(
+    sampler: &dyn KernelSampler,
+    workload: &Workload,
+    sim: &Simulator,
+    full: &FullRun,
+    reps: u32,
+    base_seed: u64,
+    par: Parallelism,
+) -> EvalSummary {
     assert!(reps > 0, "at least one repetition required");
-    let results: Vec<EvalResult> = (0..reps)
-        .map(|r| {
-            evaluate_once(
-                sampler,
-                workload,
-                sim,
-                full,
-                base_seed.wrapping_add(r as u64).wrapping_mul(0x9e3779b97f4a7c15),
-            )
-        })
-        .collect();
+    let cache = SimCache::new();
+    let results: Vec<EvalResult> = stem_par::par_map_range(par, reps as usize, |r| {
+        let rep_seed = base_seed.wrapping_add(r as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        let plan = sampler.plan(workload, rep_seed);
+        let run = sim.run_sampled_cached(workload, plan.samples(), Parallelism::serial(), &cache);
+        EvalResult {
+            method: sampler.name().to_string(),
+            workload: workload.name().to_string(),
+            error_pct: run.error(full.total_cycles) * 100.0,
+            speedup: run.speedup(full.total_cycles),
+            num_samples: plan.num_samples(),
+            predicted_error_pct: plan.predicted_error() * 100.0,
+        }
+    });
     let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
     let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
     EvalSummary {
@@ -156,6 +182,45 @@ mod tests {
         assert!(summary.mean_error_pct < 6.0);
         assert!(summary.harmonic_speedup >= 1.0);
         assert_eq!(summary.method, "STEM");
+    }
+
+    #[test]
+    fn parallel_evaluate_is_bit_identical() {
+        let suite = rodinia_suite(13);
+        let w = &suite[1];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let serial = evaluate(&sampler, w, &sim, &full, 4, 9);
+        for threads in [1usize, 2, 3, 8] {
+            let par = evaluate_par(
+                &sampler,
+                w,
+                &sim,
+                &full,
+                4,
+                9,
+                stem_par::Parallelism::with_threads(threads),
+            );
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_manual_once_loop() {
+        // `evaluate` (cached, fold-ordered) must agree bitwise with the
+        // plain `evaluate_once` loop it replaced.
+        let suite = rodinia_suite(13);
+        let w = &suite[2];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let full = sim.run_full(w);
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        let summary = evaluate(&sampler, w, &sim, &full, 3, 5);
+        for (r, result) in summary.results.iter().enumerate() {
+            let rep_seed = 5u64.wrapping_add(r as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            let once = evaluate_once(&sampler, w, &sim, &full, rep_seed);
+            assert_eq!(*result, once, "rep {r}");
+        }
     }
 
     #[test]

@@ -3,13 +3,14 @@
 
 use crate::degrade::RecoveryPolicy;
 use crate::error::StemError;
-use crate::eval::{arithmetic_mean, evaluate, harmonic_mean, EvalResult, EvalSummary};
+use crate::eval::{arithmetic_mean, evaluate_par, harmonic_mean, EvalResult, EvalSummary};
 use crate::sampler::KernelSampler;
 use crate::stem::StemRootSampler;
 use gpu_profile::validate::reconstructed_times;
 use gpu_profile::{DataQualityReport, TraceRecord, TraceValidator};
-use gpu_sim::{FullRun, Simulator};
+use gpu_sim::{FullRun, SimCache, Simulator};
 use gpu_workload::Workload;
+use stem_par::Parallelism;
 
 /// Convenience driver binding a target simulator and experiment settings.
 ///
@@ -35,17 +36,22 @@ pub struct Pipeline {
     reps: u32,
     base_seed: u64,
     recovery: RecoveryPolicy,
+    parallelism: Parallelism,
 }
 
 impl Pipeline {
-    /// Creates a pipeline targeting `sim`, with the paper's 10 repetitions
-    /// and the repair-and-degrade recovery policy.
+    /// Creates a pipeline targeting `sim`, with the paper's 10 repetitions,
+    /// the repair-and-degrade recovery policy, and the environment's thread
+    /// budget (`STEM_THREADS`, else `available_parallelism()`). Results
+    /// are bit-identical at every thread count; `STEM_THREADS=1` runs the
+    /// plain serial code path.
     pub fn new(sim: Simulator) -> Self {
         Pipeline {
             sim,
             reps: 10,
             base_seed: 1,
             recovery: RecoveryPolicy::default(),
+            parallelism: Parallelism::from_env(),
         }
     }
 
@@ -78,6 +84,18 @@ impl Pipeline {
         self
     }
 
+    /// Overrides the thread budget (ground-truth simulation and the
+    /// repetition loop both use it).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// The thread budget in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// The recovery policy in effect.
     pub fn recovery(&self) -> RecoveryPolicy {
         self.recovery
@@ -91,7 +109,7 @@ impl Pipeline {
     /// Ground-truth full simulation (exposed so callers can reuse it across
     /// methods — it is by far the most expensive step).
     pub fn full_run(&self, workload: &Workload) -> FullRun {
-        self.sim.run_full(workload)
+        self.sim.run_full_par(workload, self.parallelism)
     }
 
     /// Runs the whole pipeline for one sampler on one workload.
@@ -107,7 +125,15 @@ impl Pipeline {
         workload: &Workload,
         full: &FullRun,
     ) -> EvalSummary {
-        evaluate(sampler, workload, &self.sim, full, self.reps, self.base_seed)
+        evaluate_par(
+            sampler,
+            workload,
+            &self.sim,
+            full,
+            self.reps,
+            self.base_seed,
+            self.parallelism,
+        )
     }
 
     /// Runs the pipeline from an *externally ingested* execution trace
@@ -183,22 +209,36 @@ impl Pipeline {
         let degraded = report.degraded_fraction();
 
         let full = self.full_run(workload);
-        let mut results = Vec::with_capacity(self.reps as usize);
-        for r in 0..self.reps {
-            let seed = self
-                .base_seed
-                .wrapping_add(r as u64)
-                .wrapping_mul(0x9e3779b97f4a7c15);
-            let plan = sampler.try_plan_degraded(workload, &times, seed, degraded)?;
-            let run = self.sim.run_sampled(workload, plan.samples());
-            results.push(EvalResult {
-                method: plan.method().to_string(),
-                workload: workload.name().to_string(),
-                error_pct: run.error(full.total_cycles) * 100.0,
-                speedup: run.speedup(full.total_cycles),
-                num_samples: plan.num_samples(),
-                predicted_error_pct: plan.predicted_error() * 100.0,
+        // Repetitions run on worker threads: seeds derive from the rep
+        // index, reps share a memo cache of pure timing results, and any
+        // planning failure is reported for the *lowest failing rep* — so
+        // both success and error behavior match the serial loop exactly.
+        let cache = SimCache::new();
+        let outcomes: Vec<Result<EvalResult, StemError>> =
+            stem_par::par_map_range(self.parallelism, self.reps as usize, |r| {
+                let seed = self
+                    .base_seed
+                    .wrapping_add(r as u64)
+                    .wrapping_mul(0x9e3779b97f4a7c15);
+                let plan = sampler.try_plan_degraded(workload, &times, seed, degraded)?;
+                let run = self.sim.run_sampled_cached(
+                    workload,
+                    plan.samples(),
+                    Parallelism::serial(),
+                    &cache,
+                );
+                Ok(EvalResult {
+                    method: plan.method().to_string(),
+                    workload: workload.name().to_string(),
+                    error_pct: run.error(full.total_cycles) * 100.0,
+                    speedup: run.speedup(full.total_cycles),
+                    num_samples: plan.num_samples(),
+                    predicted_error_pct: plan.predicted_error() * 100.0,
+                })
             });
+        let mut results = Vec::with_capacity(self.reps as usize);
+        for outcome in outcomes {
+            results.push(outcome?);
         }
         let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
         let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();

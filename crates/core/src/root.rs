@@ -83,6 +83,24 @@ pub fn cluster_workload(
     times: &[f64],
     config: &StemConfig,
 ) -> Vec<KernelCluster> {
+    cluster_workload_par(workload, times, config, stem_par::Parallelism::serial())
+}
+
+/// [`cluster_workload`] with the per-kernel groups split across `par`
+/// threads. Each kernel's recursive splitting is independent of every
+/// other kernel's (no RNG, no shared accumulators), and the leaf clusters
+/// are concatenated in the groups' deterministic `BTreeMap` order — so the
+/// result is bit-identical to the serial clustering at any thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`cluster_workload`].
+pub fn cluster_workload_par(
+    workload: &Workload,
+    times: &[f64],
+    config: &StemConfig,
+    par: stem_par::Parallelism,
+) -> Vec<KernelCluster> {
     assert_eq!(
         times.len(),
         workload.num_invocations(),
@@ -97,11 +115,14 @@ pub fn cluster_workload(
     }
     config.validate();
 
-    let mut out = Vec::new();
-    for (kernel, members) in workload.invocations_by_kernel() {
-        split_recursive(kernel, members, times, config, 0, &mut out);
-    }
-    out
+    let groups: Vec<(KernelId, Vec<usize>)> =
+        workload.invocations_by_kernel().into_iter().collect();
+    let per_group = stem_par::par_map_indexed(par, &groups, |_, (kernel, members)| {
+        let mut local = Vec::new();
+        split_recursive(*kernel, members.clone(), times, config, 0, &mut local);
+        local
+    });
+    per_group.into_iter().flatten().collect()
 }
 
 /// Recursive splitter for one cluster of one kernel.
@@ -226,6 +247,39 @@ mod tests {
 
     fn config() -> StemConfig {
         StemConfig::paper()
+    }
+
+    #[test]
+    fn parallel_clustering_is_bit_identical() {
+        // Two kernels with bimodal time mixtures so splitting actually
+        // recurses, then every thread count must reproduce the serial
+        // leaves exactly (same order, same stats bits).
+        let mut b = WorkloadBuilder::new("t", SuiteKind::Custom, 1);
+        let a = b.add_kernel(
+            KernelClassBuilder::new("a").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        let c = b.add_kernel(
+            KernelClassBuilder::new("c").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        for i in 0..600 {
+            b.invoke(if i % 2 == 0 { a } else { c }, 0, 1.0);
+        }
+        let w = b.build();
+        let times: Vec<f64> = (0..600)
+            .map(|i| if i % 4 < 2 { 100.0 + (i % 7) as f64 } else { 900.0 + (i % 5) as f64 })
+            .collect();
+        let serial = cluster_workload(&w, &times, &config());
+        for threads in [1usize, 2, 3, 8] {
+            let par = cluster_workload_par(
+                &w,
+                &times,
+                &config(),
+                stem_par::Parallelism::with_threads(threads),
+            );
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -10,7 +10,12 @@ use gpu_workload::Workload;
 /// every experiment 10 times and averages): it must drive all random draws
 /// of the method (random sampling with replacement, k-means++ seeding, ...)
 /// so that repetitions differ while everything stays reproducible.
-pub trait KernelSampler {
+///
+/// Samplers must be `Send + Sync`: the evaluation pipeline plans
+/// repetitions on `stem-par` worker threads, sharing the sampler by
+/// reference. Plans stay deterministic regardless — every random draw is
+/// keyed on `rep_seed`, never on thread identity.
+pub trait KernelSampler: Send + Sync {
     /// Short method name as used in the paper's tables ("STEM", "PKA",
     /// "Sieve", "Photon", "Random").
     fn name(&self) -> &'static str;

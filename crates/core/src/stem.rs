@@ -5,13 +5,14 @@ use crate::config::StemConfig;
 use crate::degrade::inflate_cluster_stats;
 use crate::error::StemError;
 use crate::plan::{ClusterSummary, SamplingPlan};
-use crate::root::{cluster_workload, KernelCluster};
+use crate::root::{cluster_workload_par, KernelCluster};
 use crate::sampler::KernelSampler;
 use gpu_profile::validate::reconstructed_times;
 use gpu_profile::{DataQualityReport, ExecTimeProfiler, TraceRecord, TraceValidator};
 use gpu_sim::WeightedSample;
 use gpu_workload::Workload;
 use crate::rng::{RngExt, SeedableRng, StdRng};
+use stem_par::Parallelism;
 use stem_stats::kkt::{per_cluster_sample_sizes, solve_sample_sizes};
 
 /// How sample sizes are assigned across clusters.
@@ -31,6 +32,12 @@ pub struct StemRootSampler {
     profiler: ExecTimeProfiler,
     sizing: Sizing,
     enable_root: bool,
+    /// Thread budget for profiling and ROOT clustering. Defaults to
+    /// serial: the evaluation pipeline already parallelizes across
+    /// repetitions, so nested parallelism would only oversubscribe;
+    /// standalone users opt in via
+    /// [`StemRootSampler::with_parallelism`].
+    parallelism: Parallelism,
 }
 
 impl StemRootSampler {
@@ -47,7 +54,22 @@ impl StemRootSampler {
             profiler,
             sizing: Sizing::JointKkt,
             enable_root: true,
+            parallelism: Parallelism::serial(),
         }
+    }
+
+    /// Spreads profiling and ROOT clustering across `par` threads. Plans
+    /// are bit-identical at every thread count (per-invocation noise and
+    /// per-kernel splitting are index-keyed; the sampling RNG stays a
+    /// single serial stream).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// The thread budget in use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Switches to per-cluster Eq. (3) sizing (ablation).
@@ -71,7 +93,7 @@ impl StemRootSampler {
     /// Runs ROOT only, returning the leaf clusters (for diagnostics and
     /// figures).
     pub fn clusters(&self, workload: &Workload) -> Vec<KernelCluster> {
-        let times = self.profiler.profile(workload);
+        let times = self.profiler.profile_par(workload, self.parallelism);
         self.cluster_times(workload, &times)
     }
 
@@ -196,13 +218,13 @@ impl StemRootSampler {
 
     fn cluster_times(&self, workload: &Workload, times: &[f64]) -> Vec<KernelCluster> {
         if self.enable_root {
-            cluster_workload(workload, times, &self.config)
+            cluster_workload_par(workload, times, &self.config, self.parallelism)
         } else {
             // One cluster per kernel name, no splitting.
             let mut cfg = self.config.clone();
             cfg.max_depth = 1;
             cfg.min_split_size = usize::MAX;
-            cluster_workload(workload, times, &cfg)
+            cluster_workload_par(workload, times, &cfg, self.parallelism)
         }
     }
 }
@@ -217,7 +239,7 @@ impl KernelSampler for StemRootSampler {
             workload.num_invocations() > 0,
             "cannot sample an empty workload"
         );
-        let times = self.profiler.profile(workload);
+        let times = self.profiler.profile_par(workload, self.parallelism);
         self.plan_inner(workload, &times, rep_seed)
     }
 }
@@ -463,6 +485,23 @@ mod tests {
         let s = StemRootSampler::new(StemConfig::paper().with_small_sample_correction());
         let run = sim.run_sampled(w, s.plan(w, 1).samples());
         assert!(run.error(full.total_cycles) < 0.05);
+    }
+
+    #[test]
+    fn parallel_planning_is_bit_identical() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "resnet50_infer").expect("resnet");
+        let serial = sampler().plan(w, 4);
+        let serial_clusters = sampler().clusters(w);
+        for threads in [1usize, 2, 3, 8] {
+            let s = sampler().with_parallelism(Parallelism::with_threads(threads));
+            assert_eq!(s.plan(w, 4), serial, "plan differs at threads = {threads}");
+            assert_eq!(
+                s.clusters(w),
+                serial_clusters,
+                "clusters differ at threads = {threads}"
+            );
+        }
     }
 
     #[test]

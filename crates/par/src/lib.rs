@@ -1,0 +1,358 @@
+//! Deterministic parallel runtime: scoped fixed-size thread pool with
+//! index-ordered chunked map/reduce.
+//!
+//! Every hot path of the reproduction (per-invocation timing in `gpu-sim`,
+//! k-means assignment and PCA gram accumulation in `stem-cluster`,
+//! per-repetition evaluation in `stem-core::Pipeline`) is a map over
+//! independent items followed by an order-sensitive aggregation. This crate
+//! parallelizes exactly that shape while preserving STEM's trustworthiness
+//! invariant:
+//!
+//! > **same seed + same inputs ⇒ identical output for every thread count.**
+//!
+//! Three rules make the invariant hold by construction:
+//!
+//! 1. **Results are merged in input-index order.** Workers pull fixed-size
+//!    chunks off an atomic cursor (so scheduling is dynamic and
+//!    load-balanced), but each chunk remembers its starting index and the
+//!    merge sorts chunks by that index before concatenating. Which worker
+//!    computed a chunk — and when — never reaches the output.
+//! 2. **Reductions fold serially in index order.** Floating-point addition
+//!    is not associative, so [`par_reduce_ordered`] parallelizes only the
+//!    map and performs the fold on the calling thread, left to right —
+//!    bit-identical to the serial fold at any thread count.
+//! 3. **Randomness is split by task index, never worker identity.**
+//!    [`split_seed`] derives a per-task seed from `(base_seed, task_index)`
+//!    with a SplitMix64-style mix; callers feed it to
+//!    `stem_core::rng::StdRng::seed_from_u64`. No API in this crate exposes
+//!    a worker id, so worker-dependent randomness cannot be written.
+//!
+//! Thread count comes from a [`Parallelism`] value: the default is
+//! `std::thread::available_parallelism()`, the `STEM_THREADS` environment
+//! variable overrides it, and `1` short-circuits to a plain serial loop —
+//! byte-for-byte the pre-parallelism code path.
+//!
+//! # Example
+//!
+//! ```
+//! use stem_par::{par_map_indexed, par_reduce_ordered, Parallelism};
+//!
+//! let par = Parallelism::with_threads(4);
+//! let xs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+//!
+//! let doubled = par_map_indexed(par, &xs, |_, &x| 2.0 * x);
+//! assert_eq!(doubled[7], 7.0);
+//!
+//! let sum = par_reduce_ordered(par, &xs, |_, &x| 2.0 * x, 0.0, |acc, v| acc + v);
+//! // Bit-identical to the serial fold, not merely close:
+//! let serial: f64 = xs.iter().map(|&x| 2.0 * x).fold(0.0, |a, v| a + v);
+//! assert_eq!(sum, serial);
+//! ```
+
+// Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default thread count.
+pub const THREADS_ENV: &str = "STEM_THREADS";
+
+/// Target chunks per worker: small enough to amortize dispatch, large
+/// enough that a straggler chunk cannot serialize the whole map.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// How many worker threads parallel maps may use.
+///
+/// `Parallelism` is a pure count: it carries no pool state, so it is `Copy`
+/// and can be stored in configs and compared in tests. A value of 1 makes
+/// every primitive in this crate take the literal serial code path (no
+/// threads spawned, no atomics touched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// One thread: the serial code path, byte-for-byte.
+    pub fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// An explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` — zero workers cannot make progress.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        Parallelism { threads }
+    }
+
+    /// The machine's available parallelism (falls back to 1 where the OS
+    /// cannot report it).
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Parallelism { threads }
+    }
+
+    /// The configured default: the `STEM_THREADS` environment variable if
+    /// set to a positive integer, otherwise [`Parallelism::available`].
+    /// Unparsable or zero values fall back to the default rather than
+    /// erroring — an experiment must not die on a typo in a launcher
+    /// script, and the result is identical at any count anyway.
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Parallelism { threads: n },
+                _ => Self::available(),
+            },
+            Err(_) => Self::available(),
+        }
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this is the serial path.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    /// [`Parallelism::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Derives the RNG seed for task `index` from `base`: SplitMix64-style
+/// stream splitting. The seed is a function of the task's position in the
+/// input — never of which worker executes it or in what order — so seeded
+/// draws stay identical at every thread count.
+///
+/// Feed the result to `stem_core::rng::StdRng::seed_from_u64`.
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `0..len` on a scoped thread pool, returning results in
+/// index order. The deterministic core primitive: [`par_map_indexed`] and
+/// [`par_reduce_ordered`] are built on it.
+///
+/// With `par.threads() == 1` (or fewer than two items) this is exactly
+/// `(0..len).map(f).collect()` — no threads, no atomics.
+pub fn par_map_range<U, F>(par: Parallelism, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if par.is_serial() || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let threads = par.threads().min(len);
+    let chunk = chunk_size(len, threads);
+    let cursor = AtomicUsize::new(0);
+
+    // Each worker returns its chunks tagged with their start index; the
+    // merge below re-establishes input order, so neither worker identity
+    // nor completion order can reach the result.
+    let mut chunks: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        local.push((start, (start..end).map(&f).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(mut part) => all.append(&mut part),
+                // Re-raise the worker's own panic payload on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    assert!(out.len() == len, "chunk dispatch lost items");
+    out
+}
+
+/// Maps `f(index, &item)` over a slice in parallel, returning results in
+/// input-index order. See [`par_map_range`] for the determinism contract.
+pub fn par_map_indexed<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(par, items.len(), |i| f(i, &items[i]))
+}
+
+/// Parallel map + **serial in-order fold**: computes `f(index, &item)` for
+/// every item on the pool, then folds the mapped values left to right on
+/// the calling thread.
+///
+/// The fold is deliberately not parallelized: floating-point accumulation
+/// is order-sensitive, and folding in index order is what makes the result
+/// bit-identical to `items.iter().enumerate().map(f).fold(init, fold)` at
+/// every thread count.
+pub fn par_reduce_ordered<T, M, A, F, G>(
+    par: Parallelism,
+    items: &[T],
+    f: F,
+    init: A,
+    mut fold: G,
+) -> A
+where
+    T: Sync,
+    M: Send,
+    F: Fn(usize, &T) -> M + Sync,
+    G: FnMut(A, M) -> A,
+{
+    let mapped = par_map_indexed(par, items, f);
+    let mut acc = init;
+    for m in mapped {
+        acc = fold(acc, m);
+    }
+    acc
+}
+
+fn chunk_size(len: usize, threads: usize) -> usize {
+    let target_chunks = threads * CHUNKS_PER_WORKER;
+    ((len + target_chunks - 1) / target_chunks).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_plain_map() {
+        let xs = [3u64, 1, 4, 1, 5];
+        let out = par_map_indexed(Parallelism::serial(), &xs, |i, &x| x * 10 + i as u64);
+        assert_eq!(out, vec![30, 11, 42, 13, 54]);
+    }
+
+    #[test]
+    fn order_preserved_at_many_thread_counts() {
+        let xs: Vec<u64> = (0..1013).collect();
+        let expect: Vec<u64> = xs.iter().enumerate().map(|(i, &x)| x * 3 + i as u64).collect();
+        for t in [1, 2, 3, 5, 8, 16, 64] {
+            let out = par_map_indexed(Parallelism::with_threads(t), &xs, |i, &x| {
+                x * 3 + i as u64
+            });
+            assert_eq!(out, expect, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: [u32; 0] = [];
+        for t in [1, 4] {
+            let par = Parallelism::with_threads(t);
+            assert_eq!(par_map_indexed(par, &empty, |_, &x| x), Vec::<u32>::new());
+            assert_eq!(par_map_indexed(par, &[9u32], |i, &x| x + i as u32), vec![9]);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let out = par_map_indexed(Parallelism::with_threads(32), &xs, |_, &x| x * 0.1);
+        let expect: Vec<f64> = xs.iter().map(|&x| x * 0.1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reduce_matches_serial_fold_bitwise() {
+        // Values chosen so that accumulation order matters in f64.
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| if i % 3 == 0 { 1e16 } else { 1.0 + i as f64 * 1e-3 })
+            .collect();
+        let serial = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * (1.0 + i as f64))
+            .fold(0.0f64, |a, v| a + v);
+        for t in [1, 2, 7, 13] {
+            let par = Parallelism::with_threads(t);
+            let got = par_reduce_ordered(
+                par,
+                &xs,
+                |i, &x| x * (1.0 + i as f64),
+                0.0f64,
+                |a, v| a + v,
+            );
+            assert_eq!(got.to_bits(), serial.to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn split_seed_depends_on_index_and_base() {
+        assert_ne!(split_seed(1, 0), split_seed(1, 1));
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        assert_eq!(split_seed(7, 42), split_seed(7, 42));
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::with_threads(6).threads(), 6);
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        Parallelism::with_threads(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_range(Parallelism::with_threads(4), 100, |i| {
+                assert!(i != 57, "boom at 57");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn chunk_size_covers_range() {
+        for len in [1usize, 2, 7, 100, 1001] {
+            for threads in [1usize, 2, 8, 64] {
+                let c = chunk_size(len, threads);
+                assert!(c >= 1);
+                // Enough chunks of size c exist to cover len.
+                assert!(c * threads * CHUNKS_PER_WORKER + c > len);
+            }
+        }
+    }
+}

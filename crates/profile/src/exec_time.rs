@@ -41,6 +41,13 @@ impl ExecTimeProfiler {
         self.hw.measure_all(workload)
     }
 
+    /// [`ExecTimeProfiler::profile`] spread across `par` threads;
+    /// bit-identical to the serial profile at any thread count because
+    /// measurement noise is a pure function of `(seed, index)`.
+    pub fn profile_par(&self, workload: &Workload, par: stem_par::Parallelism) -> Vec<f64> {
+        self.hw.measure_all_par(workload, par)
+    }
+
     /// The profiling machine's config.
     pub fn config(&self) -> &GpuConfig {
         self.hw.config()
@@ -57,6 +64,17 @@ mod tests {
         let w = &rodinia_suite(1)[0];
         let p = ExecTimeProfiler::new(GpuConfig::rtx2080(), 7);
         assert_eq!(p.profile(w), p.profile(w));
+    }
+
+    #[test]
+    fn parallel_profile_is_bit_identical() {
+        let w = &rodinia_suite(1)[0];
+        let p = ExecTimeProfiler::new(GpuConfig::rtx2080(), 7);
+        let serial = p.profile(w);
+        for threads in [1usize, 2, 3, 8] {
+            let par = p.profile_par(w, stem_par::Parallelism::with_threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -66,6 +66,15 @@ impl HardwareRunner {
             .map(|i| self.measure_one(workload, i))
             .collect()
     }
+
+    /// [`HardwareRunner::measure_all`] spread across `par` threads.
+    /// Measurement noise is a pure function of `(seed, index)`, so the
+    /// result is bit-identical to the serial profile at any thread count.
+    pub fn measure_all_par(&self, workload: &Workload, par: stem_par::Parallelism) -> Vec<f64> {
+        stem_par::par_map_range(par, workload.num_invocations(), |i| {
+            self.measure_one(workload, i)
+        })
+    }
 }
 
 /// Deterministic standard-normal draw from `(seed, index)` via splitmix64 +
@@ -101,6 +110,17 @@ mod tests {
         for (m, t) in measured.iter().zip(&truth.per_invocation) {
             let rel = (m - t).abs() / t;
             assert!(rel < 0.08, "measurement deviates {rel}");
+        }
+    }
+
+    #[test]
+    fn parallel_measurement_is_bit_identical() {
+        let w = &rodinia_suite(2)[0];
+        let hw = HardwareRunner::new(GpuConfig::rtx2080(), 99);
+        let serial = hw.measure_all(w);
+        for threads in [1usize, 2, 3, 8] {
+            let par = hw.measure_all_par(w, stem_par::Parallelism::with_threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
         }
     }
 

@@ -37,6 +37,7 @@ pub mod dram;
 pub mod energy;
 pub mod exec;
 pub mod hardware;
+pub mod memo;
 pub mod metrics;
 pub mod multi_gpu;
 pub mod occupancy;
@@ -48,6 +49,7 @@ pub use config::{DseTransform, GpuConfig};
 pub use energy::EnergyModel;
 pub use exec::KernelTiming;
 pub use hardware::HardwareRunner;
+pub use memo::SimCache;
 pub use multi_gpu::{simulate_trace, ClusterConfig, TraceRun};
 pub use sampled::{SampledRun, WeightedSample};
 pub use simulator::{FullRun, Simulator};

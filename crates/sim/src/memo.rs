@@ -1,0 +1,358 @@
+//! Sharded memoisation of per-invocation timings.
+//!
+//! Sampling plans revisit the same `(kernel signature, runtime context,
+//! µarch config)` triple many times — across repetitions, across warm
+//! re-runs, and across clusters that share a kernel. [`SimCache`] memoises
+//! [`KernelTiming`] results behind a sharded mutex map so parallel workers
+//! rarely contend, and [`Simulator::run_sampled_cached`] is the cached,
+//! optionally parallel twin of [`Simulator::run_sampled`].
+//!
+//! The cache is *output-invisible*: `time_invocation` is a pure function,
+//! so a hit returns exactly the bits a recomputation would produce, and the
+//! weighted-sum reduction still folds in sample order. Hit/miss counters
+//! are informational only. Keys are 128-bit structural fingerprints over
+//! the full µarch config, the sim options, the workload's kernel and
+//! context tables, and the invocation's own fields, so two different
+//! configurations (or workloads) can never alias a cache line — the
+//! cache-poisoning guard tests below pin this.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::exec::KernelTiming;
+use crate::sampled::{SampledRun, WeightedSample};
+use crate::simulator::Simulator;
+use gpu_workload::Workload;
+use stem_par::Parallelism;
+
+/// Shard count; a power of two so `key & (SHARDS - 1)` selects a shard.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table from invocation fingerprints to
+/// [`KernelTiming`] results.
+#[derive(Debug)]
+pub struct SimCache {
+    shards: Vec<Mutex<HashMap<u128, KernelTiming>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        SimCache::new()
+    }
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SimCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of memoised timings.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+    }
+
+    /// True if nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let total = h + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 / total as f64
+        }
+    }
+
+    /// Returns the memoised timing for `key`, computing and inserting it on
+    /// a miss. `compute` runs outside the shard lock so a slow simulation
+    /// never blocks other shard traffic; a racing duplicate insert is
+    /// harmless because the computed value is a pure function of the key.
+    fn get_or_insert(&self, key: u128, compute: impl FnOnce() -> KernelTiming) -> KernelTiming {
+        let shard = &self.shards[(key as usize) & (SHARDS - 1)];
+        if let Some(&t) = lock_shard(shard).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        let t = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lock_shard(shard).insert(key, t);
+        t
+    }
+}
+
+/// Locks one shard. A poisoned shard means a worker thread already
+/// panicked; that panic is re-raised by the pool's join, so there is no
+/// state worth salvaging here and propagating is the only sane option.
+fn lock_shard(
+    shard: &Mutex<HashMap<u128, KernelTiming>>,
+) -> std::sync::MutexGuard<'_, HashMap<u128, KernelTiming>> {
+    shard.lock().expect("memo shard poisoned by a worker panic")
+}
+
+/// Incremental dual-stream 64-bit fingerprint (FNV-1a plus an independent
+/// odd-multiplier stream) folded into a 128-bit key. Not cryptographic —
+/// it only needs to keep distinct (config, workload, invocation) triples
+/// from colliding in a process-local cache.
+#[derive(Debug, Clone, Copy)]
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.a = (self.a ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        self.b = (self.b ^ w.rotate_left(32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    fn bytes(&mut self, s: &[u8]) {
+        self.word(s.len() as u64);
+        for chunk in s.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(w));
+        }
+    }
+
+    fn key(self) -> u128 {
+        ((self.a as u128) << 64) | self.b as u128
+    }
+}
+
+impl Simulator {
+    /// Fingerprints everything a timing depends on *except* the invocation
+    /// itself: the µarch config, the sim options, and the workload's kernel
+    /// and context tables. Computed once per cached run and reused for
+    /// every sample.
+    fn environment_fingerprint(&self, workload: &Workload) -> Fingerprint {
+        let mut fp = Fingerprint::new();
+        let c = self.config();
+        fp.bytes(c.name.as_bytes());
+        fp.word(c.num_sms as u64);
+        fp.f64(c.clock_ghz);
+        fp.word(c.max_threads_per_sm as u64);
+        fp.word(c.max_ctas_per_sm as u64);
+        fp.word(c.regs_per_sm as u64);
+        fp.word(c.shared_mem_per_sm as u64);
+        fp.word(c.l1_size);
+        fp.word(c.l2_size);
+        fp.f64(c.dram_bandwidth_gbps);
+        fp.f64(c.dram_latency_cycles);
+        fp.f64(c.fp32_throughput);
+        fp.f64(c.fp16_throughput);
+        fp.f64(c.int_throughput);
+        fp.f64(c.ldst_throughput);
+        fp.f64(c.sfu_throughput);
+        fp.f64(c.launch_overhead_cycles);
+        let o = self.options();
+        fp.word(o.flush_l2_between_kernels as u64);
+        fp.word(o.warmup_kernels as u64);
+        fp.word(workload.kernels().len() as u64);
+        for (ki, k) in workload.kernels().iter().enumerate() {
+            fp.bytes(k.name.as_bytes());
+            fp.word(k.grid_dim as u64);
+            fp.word(k.block_dim as u64);
+            fp.word(k.regs_per_thread as u64);
+            fp.word(k.shared_mem_per_cta as u64);
+            fp.word(k.instr_per_thread);
+            fp.f64(k.mix.fp32);
+            fp.f64(k.mix.fp16);
+            fp.f64(k.mix.int_alu);
+            fp.f64(k.mix.ldst_global);
+            fp.f64(k.mix.ldst_shared);
+            fp.f64(k.mix.branch);
+            fp.f64(k.mix.special);
+            fp.word(k.footprint_bytes);
+            fp.f64(k.reuse_factor);
+            let contexts = workload.contexts_of(gpu_workload::KernelId(ki as u32));
+            fp.word(contexts.len() as u64);
+            for ctx in contexts {
+                fp.f64(ctx.work_scale);
+                fp.f64(ctx.footprint_scale);
+                fp.f64(ctx.locality_boost);
+                fp.f64(ctx.jitter_cov);
+            }
+        }
+        fp
+    }
+
+    /// [`Simulator::run_sampled`] with memoisation and optional
+    /// parallelism. Bit-identical to the uncached serial run at every
+    /// thread count and cache temperature: timings are pure functions of
+    /// their fingerprint, and both accumulators fold in sample order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or any index is out of range.
+    pub fn run_sampled_cached(
+        &self,
+        workload: &Workload,
+        samples: &[WeightedSample],
+        par: Parallelism,
+        cache: &SimCache,
+    ) -> SampledRun {
+        assert!(!samples.is_empty(), "sampled simulation needs samples");
+        let n = workload.num_invocations();
+        let env = self.environment_fingerprint(workload);
+        let pairs = stem_par::par_map_indexed(par, samples, |_, s| {
+            assert!(s.index < n, "sample index {} out of range", s.index);
+            let inv = &workload.invocations()[s.index];
+            let mut fp = env;
+            fp.word(inv.kernel.index() as u64);
+            fp.word(inv.context as u64);
+            fp.word(inv.work_scale.to_bits() as u64);
+            fp.word(inv.noise_z.to_bits() as u64);
+            let timing = cache.get_or_insert(fp.key(), || self.timing(workload, inv));
+            (s.weight * timing.cycles, timing.cycles + timing.warmup_cycles)
+        });
+        let mut estimated = 0.0;
+        let mut simulated = 0.0;
+        for (e, s) in pairs {
+            estimated += e;
+            simulated += s;
+        }
+        SampledRun {
+            estimated_total_cycles: estimated,
+            simulated_cycles: simulated,
+            num_samples: samples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use gpu_workload::suites::rodinia_suite;
+
+    fn unit_samples(n: usize) -> Vec<WeightedSample> {
+        (0..n).map(|i| WeightedSample::new(i, 1.5)).collect()
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_bitwise() {
+        let w = &rodinia_suite(5)[0];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(500));
+        let plain = sim.run_sampled(w, &samples);
+        let cache = SimCache::new();
+        for threads in [1usize, 2, 3, 8] {
+            let cached = sim.run_sampled_cached(
+                w,
+                &samples,
+                Parallelism::with_threads(threads),
+                &cache,
+            );
+            assert_eq!(cached, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_run_is_identical_and_hits() {
+        let w = &rodinia_suite(5)[1];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(400));
+        let cache = SimCache::new();
+        let par = Parallelism::with_threads(4);
+        let cold = sim.run_sampled_cached(w, &samples, par, &cache);
+        let misses_after_cold = cache.misses();
+        assert!(misses_after_cold > 0, "cold run must populate the cache");
+        let warm = sim.run_sampled_cached(w, &samples, par, &cache);
+        assert_eq!(warm, cold, "warm run must be bit-identical to cold");
+        assert!(
+            cache.hits() >= samples.len() as u64,
+            "warm run must hit for every sample: hits = {}",
+            cache.hits()
+        );
+        assert!(cache.hit_rate() > 0.0);
+        // The warm run computed nothing new.
+        assert_eq!(cache.misses(), misses_after_cold);
+    }
+
+    #[test]
+    fn different_uarch_config_misses() {
+        // Cache-poisoning guard: the same workload + samples on a different
+        // µarch config must never be served H100 timings from RTX 2080
+        // entries (or vice versa).
+        let w = &rodinia_suite(5)[2];
+        let samples = unit_samples(w.num_invocations().min(300));
+        let cache = SimCache::new();
+        let par = Parallelism::serial();
+        let a = Simulator::new(GpuConfig::rtx2080());
+        let b = Simulator::new(GpuConfig::h100());
+        let run_a = a.run_sampled_cached(w, &samples, par, &cache);
+        let hits_after_a = cache.hits();
+        let run_b = b.run_sampled_cached(w, &samples, par, &cache);
+        assert_eq!(
+            cache.hits(),
+            hits_after_a,
+            "a different config must not hit the other config's entries"
+        );
+        assert_eq!(run_b, b.run_sampled(w, &samples));
+        assert_ne!(run_a.estimated_total_cycles, run_b.estimated_total_cycles);
+    }
+
+    #[test]
+    fn different_sim_options_miss() {
+        let w = &rodinia_suite(5)[3];
+        let samples = unit_samples(w.num_invocations().min(300));
+        let cache = SimCache::new();
+        let par = Parallelism::serial();
+        let plain = Simulator::new(GpuConfig::rtx2080());
+        let flushed = Simulator::with_options(
+            GpuConfig::rtx2080(),
+            crate::exec::SimOptions {
+                flush_l2_between_kernels: true,
+                warmup_kernels: true,
+            },
+        );
+        plain.run_sampled_cached(w, &samples, par, &cache);
+        let hits_before = cache.hits();
+        let run = flushed.run_sampled_cached(w, &samples, par, &cache);
+        assert_eq!(cache.hits(), hits_before, "options change must miss");
+        assert_eq!(run, flushed.run_sampled(w, &samples));
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let cache = SimCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+}

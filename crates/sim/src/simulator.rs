@@ -103,6 +103,21 @@ impl Simulator {
         }
     }
 
+    /// [`Simulator::run_full`] with the per-invocation timing map spread
+    /// across `par` threads. Per-invocation order and the left-to-right
+    /// total-cycles sum are preserved, so the result is bit-identical to the
+    /// serial run at every thread count.
+    pub fn run_full_par(&self, workload: &Workload, par: stem_par::Parallelism) -> FullRun {
+        let invocations = workload.invocations();
+        let per_invocation =
+            stem_par::par_map_indexed(par, invocations, |_, inv| self.cycles(workload, inv));
+        let total_cycles = per_invocation.iter().sum();
+        FullRun {
+            total_cycles,
+            per_invocation,
+        }
+    }
+
     /// Simulates only the invocations at `indices`, returning their cycle
     /// counts in the same order.
     pub fn run_subset(&self, workload: &Workload, indices: &[usize]) -> Vec<f64> {
@@ -140,6 +155,17 @@ mod tests {
         assert_eq!(subset[0], run.per_invocation[0]);
         assert_eq!(subset[1], run.per_invocation[5]);
         assert_eq!(subset[2], run.per_invocation[10]);
+    }
+
+    #[test]
+    fn parallel_full_run_is_bit_identical() {
+        let w = &rodinia_suite(3)[0];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let serial = sim.run_full(w);
+        for threads in [1usize, 2, 3, 8] {
+            let par = sim.run_full_par(w, stem_par::Parallelism::with_threads(threads));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

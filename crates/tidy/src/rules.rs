@@ -44,7 +44,7 @@ pub const ALL_RULES: [&str; 9] = [
 ];
 
 /// Crates whose `src/` is library source (see module docs).
-const LIB_SRC_PREFIXES: [&str; 8] = [
+const LIB_SRC_PREFIXES: [&str; 9] = [
     "crates/stats/src/",
     "crates/cluster/src/",
     "crates/core/src/",
@@ -52,15 +52,17 @@ const LIB_SRC_PREFIXES: [&str; 8] = [
     "crates/profile/src/",
     "crates/workload/src/",
     "crates/baselines/src/",
+    "crates/par/src/",
     "src/",
 ];
 
 /// Crates on the per-invocation hot path (no `panic!` family).
-const HOT_SRC_PREFIXES: [&str; 4] = [
+const HOT_SRC_PREFIXES: [&str; 5] = [
     "crates/stats/src/",
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/sim/src/",
+    "crates/par/src/",
 ];
 
 /// Ingestion paths: library code that parses or validates external data

@@ -17,6 +17,9 @@
 //! * [`stats`] (`stem-stats`) — CLT sample sizing, the KKT solver, error
 //!   bounds, KDE and summaries.
 //! * [`cluster`] (`stem-cluster`) — k-means, exact 1-D k-means, PCA.
+//! * [`par`] (`stem-par`) — the deterministic parallel runtime: a scoped
+//!   thread pool with index-ordered map/reduce whose results are
+//!   bit-identical at every thread count (`STEM_THREADS` override).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use gpu_workload as workload;
 pub use stem_baselines as baselines;
 pub use stem_cluster as cluster;
 pub use stem_core as core;
+pub use stem_par as par;
 pub use stem_stats as stats;
 
 /// One-stop imports for the common workflow.
@@ -71,6 +75,7 @@ pub mod prelude {
         DataQualityReport, Fault, FaultPlan, TraceRecord, TraceValidator,
     };
     pub use stem_core::sampler::KernelSampler;
+    pub use stem_par::Parallelism;
     pub use stem_core::{
         Pipeline, RecoveryPolicy, SamplingPlan, StemConfig, StemError, StemRootSampler,
     };
