@@ -10,6 +10,7 @@ cargo test --workspace -q --offline
 # above; keep explicit invocations so a fault-model or determinism
 # regression is named in CI output.
 cargo test -q --offline --test chaos
+cargo test -q --offline --test crash_resume
 cargo test -q --offline --test parallel_equivalence
 # Threads=1 vs threads=4 smoke check: asserts bit-identical results only;
 # the printed speedup is informational (never a gate).

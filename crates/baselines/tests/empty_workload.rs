@@ -1,0 +1,78 @@
+//! Regression tests: every baseline sampler must reject an empty
+//! workload with the typed [`StemError::EmptyWorkload`] through
+//! [`KernelSampler::try_plan`], instead of panicking a worker thread.
+
+use gpu_workload::kernel::KernelClassBuilder;
+use gpu_workload::{RuntimeContext, SuiteKind, Workload, WorkloadBuilder};
+use stem_baselines::{PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler};
+use stem_core::{KernelSampler, StemConfig, StemError, StemRootSampler};
+
+/// A structurally valid workload with a kernel but zero invocations —
+/// the degenerate input that used to panic samplers.
+fn empty_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("empty", SuiteKind::Custom, 1);
+    b.add_kernel(
+        KernelClassBuilder::new("k").build(),
+        vec![RuntimeContext::neutral()],
+    );
+    b.build()
+}
+
+fn assert_rejects_empty(sampler: &dyn KernelSampler) {
+    let w = empty_workload();
+    let err = sampler
+        .try_plan(&w, 7)
+        .expect_err("empty workload must be a typed error");
+    assert_eq!(
+        err,
+        StemError::EmptyWorkload,
+        "{} returned the wrong error class",
+        sampler.name()
+    );
+}
+
+#[test]
+fn random_rejects_empty_workload() {
+    assert_rejects_empty(&RandomSampler::new(0.05));
+}
+
+#[test]
+fn pka_rejects_empty_workload() {
+    assert_rejects_empty(&PkaSampler::new());
+}
+
+#[test]
+fn sieve_rejects_empty_workload() {
+    assert_rejects_empty(&SieveSampler::new());
+}
+
+#[test]
+fn photon_rejects_empty_workload() {
+    assert_rejects_empty(&PhotonSampler::new());
+}
+
+#[test]
+fn tbpoint_rejects_empty_workload() {
+    assert_rejects_empty(&TbPointSampler::new());
+}
+
+#[test]
+fn stem_root_rejects_empty_workload() {
+    assert_rejects_empty(&StemRootSampler::new(StemConfig::default()));
+}
+
+#[test]
+fn nonempty_workload_passes_the_guard() {
+    let mut b = WorkloadBuilder::new("tiny", SuiteKind::Custom, 1);
+    let id = b.add_kernel(
+        KernelClassBuilder::new("k").build(),
+        vec![RuntimeContext::neutral()],
+    );
+    for _ in 0..32 {
+        b.invoke(id, 0, 1.0);
+    }
+    let w = b.build();
+    let sampler = RandomSampler::new(0.25);
+    let plan = sampler.try_plan(&w, 7).expect("nonempty workload plans");
+    assert_eq!(plan.samples().len(), sampler.plan(&w, 7).samples().len());
+}

@@ -1,0 +1,678 @@
+//! Crash-safe simulation campaigns: checkpoint after every completed
+//! unit, resume bit-for-bit after a kill.
+//!
+//! A *campaign* runs one sampler over a list of workloads for the
+//! pipeline's repetition count. Its atom is the **unit** — one
+//! (workload, repetition) pair, numbered `wi * reps + rep` — because a
+//! unit's result depends only on the workload and the repetition's
+//! index-derived seed, never on which worker ran it, when, or after how
+//! many retries. That makes units safe to persist piecemeal and replay in
+//! any order: a resumed campaign loads the completed units from the
+//! snapshot, computes only the missing ones, and aggregates everything in
+//! unit order, producing bits identical to an uninterrupted run at every
+//! thread count.
+//!
+//! # Snapshot format
+//!
+//! A snapshot is a small plain-text file, written atomically (tmp file +
+//! `rename`) after *each* completed unit so a kill at any instant leaves
+//! either the previous snapshot or the new one, never a torn file:
+//!
+//! ```text
+//! STEM-CAMPAIGN-SNAPSHOT v1
+//! fingerprint 6b1c3f...        ; binds the file to one exact campaign
+//! unit 0 <err> <speedup> <n> <pred>
+//! unit 3 <err> <speedup> <n> <pred>
+//! checksum 9d41a2...           ; FNV-1a 64 over everything above
+//! ```
+//!
+//! `f64` fields are stored as `to_bits()` hex so the round-trip is exact
+//! — a resumed summary must not differ in the last ulp. The fingerprint
+//! hashes the sampler name, repetition count, base seed, GPU config, and
+//! every workload's name and size; the checksum covers the whole body.
+//! A snapshot that fails *any* check — header, version, fingerprint,
+//! checksum, line grammar, unit range — is never trusted and never
+//! deleted: [`Pipeline::resume_from`] renames it to
+//! `<path>.quarantined`, reports it in the [`CampaignReport`], and
+//! recomputes from scratch. Wrong results are impossible; the worst
+//! corruption can do is cost the saved work.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::error::StemError;
+use crate::eval::{arithmetic_mean, harmonic_mean, EvalResult, EvalSummary};
+use crate::pipeline::Pipeline;
+use crate::sampler::KernelSampler;
+use gpu_sim::{FullRun, SimCache};
+use gpu_workload::Workload;
+use stem_par::{supervised_map_indexed, ExecLog, Parallelism, TaskFailure};
+
+/// First token of the snapshot header; the version tag follows it.
+const HEADER_PREFIX: &str = "STEM-CAMPAIGN-SNAPSHOT";
+/// The exact header this version writes and accepts.
+const HEADER: &str = "STEM-CAMPAIGN-SNAPSHOT v1";
+
+/// Why a snapshot was rejected (and quarantined) or could not be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure, stringified (`io::Error` is not `Clone`).
+    Io(String),
+    /// The file does not start with the snapshot header.
+    MissingHeader,
+    /// The header names a version this build does not understand.
+    VersionMismatch {
+        /// The header line as found.
+        found: String,
+    },
+    /// The snapshot belongs to a different campaign (sampler, seed,
+    /// repetition count, GPU config, or workload list differ).
+    FingerprintMismatch,
+    /// The body does not hash to the recorded checksum.
+    ChecksumMismatch,
+    /// A line violates the snapshot grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot io error: {msg}"),
+            SnapshotError::MissingHeader => f.write_str("missing snapshot header"),
+            SnapshotError::VersionMismatch { found } => {
+                write!(f, "unsupported snapshot version: {found:?} (expected {HEADER:?})")
+            }
+            SnapshotError::FingerprintMismatch => {
+                f.write_str("snapshot belongs to a different campaign")
+            }
+            SnapshotError::ChecksumMismatch => f.write_str("snapshot checksum mismatch"),
+            SnapshotError::Malformed { line, message } => {
+                write!(f, "malformed snapshot at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A rejected snapshot, set aside rather than deleted so the evidence
+/// survives for inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedSnapshot {
+    /// Where the rejected file was moved (`<snapshot>.quarantined`).
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: SnapshotError,
+}
+
+/// Outcome of a completed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// One summary per workload, in input order — bit-identical to what
+    /// an uninterrupted [`Pipeline::run_against`] loop would produce.
+    pub summaries: Vec<EvalSummary>,
+    /// Units loaded from the snapshot instead of recomputed.
+    pub resumed_units: u64,
+    /// Units computed (and persisted) by this invocation.
+    pub executed_units: u64,
+    /// Supervisor observations: retries, recovered tasks, stragglers.
+    pub exec_log: ExecLog,
+    /// A snapshot that failed validation and was set aside, if any.
+    pub quarantined: Option<QuarantinedSnapshot>,
+}
+
+/// One persisted unit: the numeric fields of an [`EvalResult`] (the
+/// strings are reproducible from the sampler and workload list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct UnitRecord {
+    error_pct: f64,
+    speedup: f64,
+    num_samples: usize,
+    predicted_error_pct: f64,
+}
+
+/// FNV-1a 64 — the workspace's std-only integrity hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes the snapshot body and appends its checksum line.
+fn serialize_snapshot(fingerprint: u64, units: &BTreeMap<u64, UnitRecord>) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "{HEADER}");
+    let _ = writeln!(body, "fingerprint {fingerprint:016x}");
+    for (index, rec) in units {
+        let _ = writeln!(
+            body,
+            "unit {index} {:016x} {:016x} {} {:016x}",
+            rec.error_pct.to_bits(),
+            rec.speedup.to_bits(),
+            rec.num_samples,
+            rec.predicted_error_pct.to_bits(),
+        );
+    }
+    let checksum = fnv1a64(body.as_bytes());
+    let _ = writeln!(body, "checksum {checksum:016x}");
+    body
+}
+
+/// Parses one `unit` line's payload (everything after the keyword).
+fn parse_unit_fields(rest: &str, line: usize) -> Result<(u64, UnitRecord), SnapshotError> {
+    let malformed = |message: String| SnapshotError::Malformed { line, message };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != 5 {
+        return Err(malformed(format!("expected 5 unit fields, got {}", fields.len())));
+    }
+    let index: u64 = fields[0]
+        .parse()
+        .map_err(|_| malformed(format!("bad unit index {:?}", fields[0])))?;
+    let bits = |s: &str| {
+        u64::from_str_radix(s, 16).map_err(|_| malformed(format!("bad f64 bit pattern {s:?}")))
+    };
+    let num_samples: usize = fields[3]
+        .parse()
+        .map_err(|_| malformed(format!("bad sample count {:?}", fields[3])))?;
+    Ok((
+        index,
+        UnitRecord {
+            error_pct: f64::from_bits(bits(fields[1])?),
+            speedup: f64::from_bits(bits(fields[2])?),
+            num_samples,
+            predicted_error_pct: f64::from_bits(bits(fields[4])?),
+        },
+    ))
+}
+
+/// Parses and integrity-checks a snapshot. Returns the recorded
+/// fingerprint and the unit map; any deviation is a typed rejection.
+fn parse_snapshot(text: &str) -> Result<(u64, BTreeMap<u64, UnitRecord>), SnapshotError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(SnapshotError::MissingHeader);
+    };
+    if header != HEADER {
+        if header.starts_with(HEADER_PREFIX) {
+            return Err(SnapshotError::VersionMismatch { found: header.to_string() });
+        }
+        return Err(SnapshotError::MissingHeader);
+    }
+
+    // Verify the checksum before believing any line: the last line must be
+    // `checksum <hex>` and must hash the whole body above it.
+    let Some(tail) = text.lines().next_back() else {
+        return Err(SnapshotError::MissingHeader);
+    };
+    let Some(recorded) = tail.strip_prefix("checksum ") else {
+        return Err(SnapshotError::ChecksumMismatch);
+    };
+    let recorded =
+        u64::from_str_radix(recorded.trim(), 16).map_err(|_| SnapshotError::ChecksumMismatch)?;
+    let Some(body_len) = text.len().checked_sub(tail.len() + 1) else {
+        return Err(SnapshotError::ChecksumMismatch);
+    };
+    if fnv1a64(text[..body_len].as_bytes()) != recorded {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut fingerprint = None;
+    let mut units = BTreeMap::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line == tail && fingerprint.is_some() {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("fingerprint ") {
+            let fp = u64::from_str_radix(rest.trim(), 16).map_err(|_| {
+                SnapshotError::Malformed {
+                    line: lineno,
+                    message: format!("bad fingerprint {rest:?}"),
+                }
+            })?;
+            fingerprint = Some(fp);
+        } else if let Some(rest) = line.strip_prefix("unit ") {
+            let (index, rec) = parse_unit_fields(rest, lineno)?;
+            if units.insert(index, rec).is_some() {
+                return Err(SnapshotError::Malformed {
+                    line: lineno,
+                    message: format!("duplicate unit {index}"),
+                });
+            }
+        } else {
+            return Err(SnapshotError::Malformed {
+                line: lineno,
+                message: format!("unrecognized line {line:?}"),
+            });
+        }
+    }
+    let Some(fingerprint) = fingerprint else {
+        return Err(SnapshotError::Malformed {
+            line: 2,
+            message: "missing fingerprint line".to_string(),
+        });
+    };
+    Ok((fingerprint, units))
+}
+
+/// Full validation of a snapshot against this campaign: grammar +
+/// checksum, then fingerprint, then unit range.
+fn validate_snapshot(
+    text: &str,
+    expected_fingerprint: u64,
+    total_units: u64,
+) -> Result<BTreeMap<u64, UnitRecord>, SnapshotError> {
+    let (fingerprint, units) = parse_snapshot(text)?;
+    if fingerprint != expected_fingerprint {
+        return Err(SnapshotError::FingerprintMismatch);
+    }
+    if let Some((&index, _)) = units.iter().next_back() {
+        if index >= total_units {
+            return Err(SnapshotError::Malformed {
+                line: 0,
+                message: format!("unit {index} out of range (campaign has {total_units})"),
+            });
+        }
+    }
+    Ok(units)
+}
+
+/// Appends a suffix to a path's file name (`foo.snap` → `foo.snap.tmp`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// Atomically replaces `path` with `text`: write a sibling tmp file, then
+/// `rename` over the target. A kill between the two syscalls leaves the
+/// previous snapshot intact; a kill mid-write leaves only a tmp file the
+/// next run ignores.
+fn write_snapshot_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
+    let tmp = sibling(path, ".tmp");
+    fs::write(&tmp, text).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+}
+
+/// Moves a rejected snapshot aside (never deletes evidence).
+fn quarantine(path: &Path) -> Result<PathBuf, SnapshotError> {
+    let target = sibling(path, ".quarantined");
+    fs::rename(path, &target).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    Ok(target)
+}
+
+/// Locks the shared campaign state, recovering from poisoning: the map
+/// only ever holds units that were already persisted to the snapshot, so
+/// a worker panic between insert and unlock cannot leave it inconsistent
+/// in a way that matters — the snapshot on disk is the durable truth.
+fn lock_state<'a>(
+    state: &'a Mutex<BTreeMap<u64, UnitRecord>>,
+) -> MutexGuard<'a, BTreeMap<u64, UnitRecord>> {
+    match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            state.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+impl Pipeline {
+    /// The identity a snapshot must prove it belongs to: sampler,
+    /// experiment settings, GPU config, and the exact workload list.
+    /// Parallelism and retry budgets are deliberately excluded — they
+    /// never change results, so a campaign may resume under a different
+    /// thread count.
+    fn campaign_fingerprint(&self, sampler: &dyn KernelSampler, workloads: &[Workload]) -> u64 {
+        let mut canon = String::new();
+        let _ = write!(
+            canon,
+            "sampler={};reps={};seed={};gpu={};",
+            sampler.name(),
+            self.reps,
+            self.base_seed,
+            self.sim.config().name,
+        );
+        for w in workloads {
+            let _ = write!(canon, "workload={}:{};", w.name(), w.num_invocations());
+        }
+        fnv1a64(canon.as_bytes())
+    }
+
+    /// Runs a fresh campaign of `sampler` over `workloads`, persisting a
+    /// snapshot to `snapshot_path` after every completed unit. Any
+    /// existing snapshot at that path is overwritten, not resumed — use
+    /// [`Pipeline::resume_from`] to pick up an interrupted campaign.
+    ///
+    /// Units execute under the pipeline's [`stem_par::Supervisor`]:
+    /// worker panics are retried with the unit's own index-derived seed,
+    /// so a recovered campaign is bit-identical to an unfaulted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StemError::InvalidConfig`] for an empty workload list,
+    /// [`StemError::EmptyWorkload`] if any workload has no invocations,
+    /// [`StemError::Snapshot`] if the snapshot cannot be written,
+    /// [`StemError::TaskFailure`] when a unit panics beyond its retry
+    /// budget, and [`StemError::Interrupted`] when an injected fault plan
+    /// simulates a process kill (the snapshot keeps the completed units).
+    pub fn run_campaign(
+        &self,
+        sampler: &dyn KernelSampler,
+        workloads: &[Workload],
+        snapshot_path: &Path,
+    ) -> Result<CampaignReport, StemError> {
+        self.campaign(sampler, workloads, snapshot_path, BTreeMap::new(), None)
+    }
+
+    /// Resumes a campaign from `snapshot_path`: completed units are
+    /// loaded and skipped, the missing ones computed, and the final
+    /// report is bit-identical to the uninterrupted campaign at every
+    /// thread count.
+    ///
+    /// A missing snapshot file simply starts a fresh campaign. A snapshot
+    /// that exists but fails validation — damaged header, stale version,
+    /// flipped byte, truncated tail, wrong campaign fingerprint — is
+    /// **quarantined** (renamed to `<path>.quarantined`), reported in
+    /// [`CampaignReport::quarantined`], and the campaign recomputes from
+    /// scratch: a corrupt checkpoint can cost time, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::run_campaign`], plus [`StemError::Snapshot`]
+    /// if the snapshot file exists but cannot be read or quarantined.
+    pub fn resume_from(
+        &self,
+        sampler: &dyn KernelSampler,
+        workloads: &[Workload],
+        snapshot_path: &Path,
+    ) -> Result<CampaignReport, StemError> {
+        let fingerprint = self.campaign_fingerprint(sampler, workloads);
+        let total_units = workloads.len() as u64 * self.reps as u64;
+        let (done, quarantined) = match fs::read_to_string(snapshot_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (BTreeMap::new(), None),
+            Err(e) => return Err(SnapshotError::Io(e.to_string()).into()),
+            Ok(text) => match validate_snapshot(&text, fingerprint, total_units) {
+                Ok(units) => (units, None),
+                Err(reason) => {
+                    let path = quarantine(snapshot_path)?;
+                    (BTreeMap::new(), Some(QuarantinedSnapshot { path, reason }))
+                }
+            },
+        };
+        self.campaign(sampler, workloads, snapshot_path, done, quarantined)
+    }
+
+    /// The campaign engine shared by fresh runs and resumes.
+    fn campaign(
+        &self,
+        sampler: &dyn KernelSampler,
+        workloads: &[Workload],
+        snapshot_path: &Path,
+        done: BTreeMap<u64, UnitRecord>,
+        quarantined: Option<QuarantinedSnapshot>,
+    ) -> Result<CampaignReport, StemError> {
+        if workloads.is_empty() {
+            return Err(StemError::InvalidConfig(
+                "campaign needs at least one workload".to_string(),
+            ));
+        }
+        if workloads.iter().any(|w| w.num_invocations() == 0) {
+            return Err(StemError::EmptyWorkload);
+        }
+        let reps = self.reps as u64;
+        let total_units = workloads.len() as u64 * reps;
+        let fingerprint = self.campaign_fingerprint(sampler, workloads);
+        let resumed_units = done.len() as u64;
+        let missing: Vec<u64> = (0..total_units).filter(|u| !done.contains_key(u)).collect();
+
+        // Ground-truth full runs, computed lazily so fully-resumed
+        // workloads never pay for one. `run_full_par` is bit-identical at
+        // every thread count, so serial inside a worker is safe.
+        let full_runs: Vec<OnceLock<FullRun>> =
+            (0..workloads.len()).map(|_| OnceLock::new()).collect();
+        let cache = SimCache::new();
+        let state = Mutex::new(done);
+        let executed = AtomicU64::new(0);
+        // Admission counter for the simulated kill: gating on *starts*
+        // (first attempts only — a retry is not a new unit) admits exactly
+        // `kill_after` units at every thread count, where gating on
+        // completions would race with in-flight workers.
+        let started = AtomicU64::new(0);
+
+        let outcome = supervised_map_indexed(
+            self.parallelism,
+            &missing,
+            &self.supervisor,
+            |ctx, &unit| -> Result<(), StemError> {
+                if let Some(faults) = &self.exec_faults {
+                    if let Some(kill_after) = faults.kill_after_units() {
+                        if ctx.attempt == 0
+                            && started.fetch_add(1, Ordering::SeqCst) >= kill_after
+                        {
+                            // Simulated process kill: stop admitting units.
+                            // The real completed count is filled in below.
+                            return Err(StemError::Interrupted { completed_units: 0 });
+                        }
+                    }
+                    faults.inject(unit, ctx.attempt);
+                }
+                let wi = (unit / reps) as usize;
+                let rep = unit % reps;
+                let workload = &workloads[wi];
+                let full = full_runs[wi]
+                    .get_or_init(|| self.sim.run_full_par(workload, Parallelism::serial()));
+                let seed = self
+                    .base_seed
+                    .wrapping_add(rep)
+                    .wrapping_mul(0x9e3779b97f4a7c15);
+                let plan = sampler.try_plan(workload, seed)?;
+                let run = self.sim.run_sampled_cached(
+                    workload,
+                    plan.samples(),
+                    Parallelism::serial(),
+                    &cache,
+                );
+                let record = UnitRecord {
+                    error_pct: run.error(full.total_cycles) * 100.0,
+                    speedup: run.speedup(full.total_cycles),
+                    num_samples: plan.num_samples(),
+                    predicted_error_pct: plan.predicted_error() * 100.0,
+                };
+                // Persist under the state lock so concurrent writers
+                // cannot rename an older snapshot over a newer one.
+                let mut st = lock_state(&state);
+                st.insert(unit, record);
+                write_snapshot_atomic(snapshot_path, &serialize_snapshot(fingerprint, &st))?;
+                drop(st);
+                executed.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        );
+
+        let (unit_outcomes, exec_log) = match outcome {
+            Ok(pair) => pair,
+            Err(failure) => {
+                // The supervisor numbers tasks by position in `missing`;
+                // report the global unit index instead.
+                let index = missing.get(failure.index).map_or(failure.index, |&u| u as usize);
+                return Err(StemError::TaskFailure(TaskFailure { index, ..failure }));
+            }
+        };
+        let final_state = match state.into_inner() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let executed_units = executed.load(Ordering::SeqCst);
+
+        let mut interrupted = false;
+        for unit_outcome in unit_outcomes {
+            match unit_outcome {
+                Ok(()) => {}
+                Err(StemError::Interrupted { .. }) => interrupted = true,
+                // Lowest-unit typed error wins, matching the serial loop.
+                Err(e) => return Err(e),
+            }
+        }
+        if interrupted {
+            return Err(StemError::Interrupted {
+                completed_units: final_state.len() as u64,
+            });
+        }
+
+        let mut summaries = Vec::with_capacity(workloads.len());
+        for (wi, workload) in workloads.iter().enumerate() {
+            let mut results = Vec::with_capacity(reps as usize);
+            for rep in 0..reps {
+                let unit = wi as u64 * reps + rep;
+                let Some(rec) = final_state.get(&unit) else {
+                    return Err(SnapshotError::Malformed {
+                        line: 0,
+                        message: format!("unit {unit} missing after a complete campaign"),
+                    }
+                    .into());
+                };
+                results.push(EvalResult {
+                    method: sampler.name().to_string(),
+                    workload: workload.name().to_string(),
+                    error_pct: rec.error_pct,
+                    speedup: rec.speedup,
+                    num_samples: rec.num_samples,
+                    predicted_error_pct: rec.predicted_error_pct,
+                });
+            }
+            let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
+            let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+            summaries.push(EvalSummary {
+                method: sampler.name().to_string(),
+                workload: workload.name().to_string(),
+                mean_error_pct: arithmetic_mean(&errors),
+                harmonic_speedup: harmonic_mean(&speedups),
+                results,
+            });
+        }
+        Ok(CampaignReport {
+            summaries,
+            resumed_units,
+            executed_units,
+            exec_log,
+            quarantined,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(x: f64) -> UnitRecord {
+        UnitRecord {
+            error_pct: x,
+            speedup: 10.0 * x,
+            num_samples: 42,
+            predicted_error_pct: x / 2.0,
+        }
+    }
+
+    fn sample_map() -> BTreeMap<u64, UnitRecord> {
+        let mut m = BTreeMap::new();
+        m.insert(0, record(1.25));
+        m.insert(3, record(0.0625));
+        m.insert(7, record(f64::MIN_POSITIVE));
+        m
+    }
+
+    #[test]
+    fn snapshot_round_trips_bitwise() {
+        let text = serialize_snapshot(0xdead_beef, &sample_map());
+        let (fp, units) = parse_snapshot(&text).expect("round trip");
+        assert_eq!(fp, 0xdead_beef);
+        assert_eq!(units, sample_map());
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let text = serialize_snapshot(1, &sample_map());
+        let cut = &text[..text.len() / 2];
+        assert!(matches!(
+            parse_snapshot(cut),
+            Err(SnapshotError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn flipped_byte_rejected() {
+        let text = serialize_snapshot(1, &sample_map());
+        let mut bytes = text.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'0' { b'1' } else { b'0' };
+        let tampered = String::from_utf8(bytes).expect("ascii");
+        assert!(parse_snapshot(&tampered).is_err());
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        let text = serialize_snapshot(1, &sample_map());
+        let stale = text.replacen("v1", "v999", 1);
+        assert!(matches!(
+            parse_snapshot(&stale),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_fingerprint_rejected() {
+        let text = serialize_snapshot(5, &sample_map());
+        assert!(matches!(
+            validate_snapshot(&text, 6, 100),
+            Err(SnapshotError::FingerprintMismatch)
+        ));
+        assert!(validate_snapshot(&text, 5, 100).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_unit_rejected() {
+        let text = serialize_snapshot(5, &sample_map());
+        assert!(matches!(
+            validate_snapshot(&text, 5, 4),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_garbage_rejected() {
+        assert!(matches!(parse_snapshot(""), Err(SnapshotError::MissingHeader)));
+        assert!(matches!(
+            parse_snapshot("not a snapshot\n"),
+            Err(SnapshotError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_quarantine() {
+        let dir = std::env::temp_dir().join("stem-campaign-test-atomic");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("campaign.snap");
+        let text = serialize_snapshot(9, &sample_map());
+        write_snapshot_atomic(&path, &text).expect("atomic write");
+        assert_eq!(std::fs::read_to_string(&path).expect("written"), text);
+        assert!(!sibling(&path, ".tmp").exists(), "tmp must be renamed away");
+        let q = quarantine(&path).expect("quarantine");
+        assert!(!path.exists());
+        assert!(q.exists());
+        assert!(q.to_string_lossy().ends_with(".quarantined"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

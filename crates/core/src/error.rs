@@ -8,11 +8,13 @@
 //! on the precise failure class afterwards. Conversions are provided via
 //! `From`, so substrate errors propagate without explicit mapping.
 
+use crate::campaign::SnapshotError;
 use gpu_profile::{
     DataQualityReport, InvalidProfileError, ParseCsvError, ValidationError, WriteCsvError,
 };
 use gpu_workload::io::ParseWorkloadError;
 use gpu_workload::WorkloadError;
+use stem_par::TaskFailure;
 use stem_stats::StatsError;
 
 /// Any failure on the path from ingested data to a sampling plan.
@@ -54,6 +56,18 @@ pub enum StemError {
         /// The offending value.
         value: f64,
     },
+    /// A supervised worker task kept panicking after its retry budget was
+    /// exhausted (see [`stem_par::Supervisor`]).
+    TaskFailure(TaskFailure),
+    /// A campaign snapshot could not be written or read back.
+    Snapshot(SnapshotError),
+    /// The campaign was interrupted (a simulated process kill from an
+    /// injected fault plan); completed units are persisted in the snapshot
+    /// and [`crate::Pipeline::resume_from`] picks up from there.
+    Interrupted {
+        /// Units persisted in the snapshot at the moment of interruption.
+        completed_units: u64,
+    },
 }
 
 impl std::fmt::Display for StemError {
@@ -79,6 +93,13 @@ impl std::fmt::Display for StemError {
                 f,
                 "profiled time at invocation {index} must be positive and finite, got {value}"
             ),
+            StemError::TaskFailure(e) => write!(f, "supervised execution failed: {e}"),
+            StemError::Snapshot(e) => write!(f, "campaign snapshot error: {e}"),
+            StemError::Interrupted { completed_units } => write!(
+                f,
+                "campaign interrupted after {completed_units} completed unit(s); \
+                 resume from the snapshot to finish"
+            ),
         }
     }
 }
@@ -93,6 +114,8 @@ impl std::error::Error for StemError {
             StemError::WriteCsv(e) => Some(e),
             StemError::InvalidProfile(e) => Some(e),
             StemError::Validation(e) => Some(e),
+            StemError::TaskFailure(e) => Some(e),
+            StemError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -137,6 +160,18 @@ impl From<InvalidProfileError> for StemError {
 impl From<ValidationError> for StemError {
     fn from(e: ValidationError) -> Self {
         StemError::Validation(e)
+    }
+}
+
+impl From<TaskFailure> for StemError {
+    fn from(e: TaskFailure) -> Self {
+        StemError::TaskFailure(e)
+    }
+}
+
+impl From<SnapshotError> for StemError {
+    fn from(e: SnapshotError) -> Self {
+        StemError::Snapshot(e)
     }
 }
 

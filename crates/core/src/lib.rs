@@ -44,6 +44,7 @@
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod config;
 pub mod degrade;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod root;
 pub mod sampler;
 pub mod stem;
 
+pub use campaign::{CampaignReport, QuarantinedSnapshot, SnapshotError};
 pub use config::StemConfig;
 pub use degrade::RecoveryPolicy;
 pub use error::StemError;

@@ -7,10 +7,10 @@ use crate::eval::{arithmetic_mean, evaluate_par, harmonic_mean, EvalResult, Eval
 use crate::sampler::KernelSampler;
 use crate::stem::StemRootSampler;
 use gpu_profile::validate::reconstructed_times;
-use gpu_profile::{DataQualityReport, TraceRecord, TraceValidator};
+use gpu_profile::{DataQualityReport, ExecFaultPlan, TraceRecord, TraceValidator};
 use gpu_sim::{FullRun, SimCache, Simulator};
 use gpu_workload::Workload;
-use stem_par::Parallelism;
+use stem_par::{Parallelism, Supervisor};
 
 /// Convenience driver binding a target simulator and experiment settings.
 ///
@@ -32,11 +32,13 @@ use stem_par::Parallelism;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    sim: Simulator,
-    reps: u32,
-    base_seed: u64,
-    recovery: RecoveryPolicy,
-    parallelism: Parallelism,
+    pub(crate) sim: Simulator,
+    pub(crate) reps: u32,
+    pub(crate) base_seed: u64,
+    pub(crate) recovery: RecoveryPolicy,
+    pub(crate) parallelism: Parallelism,
+    pub(crate) supervisor: Supervisor,
+    pub(crate) exec_faults: Option<ExecFaultPlan>,
 }
 
 impl Pipeline {
@@ -52,6 +54,8 @@ impl Pipeline {
             base_seed: 1,
             recovery: RecoveryPolicy::default(),
             parallelism: Parallelism::from_env(),
+            supervisor: Supervisor::new(),
+            exec_faults: None,
         }
     }
 
@@ -91,9 +95,32 @@ impl Pipeline {
         self
     }
 
+    /// Overrides the worker supervisor (retry budget and soft deadline)
+    /// used by the supervised execution paths
+    /// ([`Pipeline::run_from_profile`], [`Pipeline::run_campaign`],
+    /// [`Pipeline::resume_from`]).
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Installs a runtime fault plan — injected worker panics, stalls,
+    /// and simulated process kills — for chaos testing the supervised
+    /// execution paths. Faults derive from `(plan seed, task index)`, so
+    /// they replay identically at every thread count.
+    pub fn with_exec_faults(mut self, faults: ExecFaultPlan) -> Self {
+        self.exec_faults = Some(faults);
+        self
+    }
+
     /// The thread budget in effect.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// The worker supervisor in effect.
+    pub fn supervisor(&self) -> Supervisor {
+        self.supervisor
     }
 
     /// The recovery policy in effect.
@@ -209,16 +236,24 @@ impl Pipeline {
         let degraded = report.degraded_fraction();
 
         let full = self.full_run(workload);
-        // Repetitions run on worker threads: seeds derive from the rep
-        // index, reps share a memo cache of pure timing results, and any
-        // planning failure is reported for the *lowest failing rep* — so
-        // both success and error behavior match the serial loop exactly.
+        // Repetitions run on supervised worker threads: seeds derive from
+        // the rep index, reps share a memo cache of pure timing results,
+        // a panicking rep is retried within the supervisor's budget (a
+        // retry recomputes the same bits — randomness is index-derived),
+        // and any planning failure is reported for the *lowest failing
+        // rep* — so success and error behavior match the serial loop.
         let cache = SimCache::new();
-        let outcomes: Vec<Result<EvalResult, StemError>> =
-            stem_par::par_map_range(self.parallelism, self.reps as usize, |r| {
+        let (outcomes, _exec_log) = stem_par::supervised_map_range(
+            self.parallelism,
+            self.reps as usize,
+            &self.supervisor,
+            |ctx| -> Result<EvalResult, StemError> {
+                if let Some(faults) = &self.exec_faults {
+                    faults.inject(ctx.index as u64, ctx.attempt);
+                }
                 let seed = self
                     .base_seed
-                    .wrapping_add(r as u64)
+                    .wrapping_add(ctx.index as u64)
                     .wrapping_mul(0x9e3779b97f4a7c15);
                 let plan = sampler.try_plan_degraded(workload, &times, seed, degraded)?;
                 let run = self.sim.run_sampled_cached(
@@ -235,7 +270,9 @@ impl Pipeline {
                     num_samples: plan.num_samples(),
                     predicted_error_pct: plan.predicted_error() * 100.0,
                 })
-            });
+            },
+        )
+        .map_err(StemError::TaskFailure)?;
         let mut results = Vec::with_capacity(self.reps as usize);
         for outcome in outcomes {
             results.push(outcome?);

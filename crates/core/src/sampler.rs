@@ -1,5 +1,6 @@
 //! The sampling-method interface.
 
+use crate::error::StemError;
 use crate::plan::SamplingPlan;
 use gpu_workload::Workload;
 
@@ -24,8 +25,27 @@ pub trait KernelSampler: Send + Sync {
     ///
     /// # Panics
     ///
-    /// Implementations may panic on empty workloads.
+    /// Implementations may panic on empty workloads; callers that cannot
+    /// tolerate a panic should go through [`KernelSampler::try_plan`].
     fn plan(&self, workload: &Workload, rep_seed: u64) -> SamplingPlan;
+
+    /// Fallible variant of [`KernelSampler::plan`]: rejects workloads with
+    /// no invocations *before* dispatching to the implementation, so no
+    /// sampler — built-in or user-supplied — can be panicked by an empty
+    /// workload through this entry point. Supervised execution paths
+    /// ([`crate::Pipeline::run_campaign`] and friends) plan through this
+    /// method so degenerate inputs surface as typed errors, not retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StemError::EmptyWorkload`] if the workload has no
+    /// invocations.
+    fn try_plan(&self, workload: &Workload, rep_seed: u64) -> Result<SamplingPlan, StemError> {
+        if workload.num_invocations() == 0 {
+            return Err(StemError::EmptyWorkload);
+        }
+        Ok(self.plan(workload, rep_seed))
+    }
 }
 
 #[cfg(test)]

@@ -103,15 +103,21 @@ impl StemRootSampler {
     /// built-in hardware model. `times[i]` must be the measured execution
     /// time of invocation `i`, in any consistent unit.
     ///
-    /// # Panics
+    /// External profiles are ingested data, so this path never panics:
+    /// malformed input surfaces as a typed [`StemError`] the caller can
+    /// match on (equivalent to [`StemRootSampler::try_plan_from_times`]).
     ///
-    /// Panics if `times` does not have one positive, finite entry per
-    /// invocation (the panicking wrapper over
-    /// [`StemRootSampler::try_plan_from_times`]).
+    /// # Errors
+    ///
+    /// Returns [`StemError::EmptyWorkload`],
+    /// [`StemError::ProfileLengthMismatch`] if `times` is not one entry per
+    /// invocation, or [`StemError::BadTime`] at the first nonpositive or
+    /// non-finite entry.
     ///
     /// # Example
     ///
     /// ```
+    /// # fn main() -> Result<(), stem_core::StemError> {
     /// use gpu_workload::suites::rodinia_suite;
     /// use stem_core::{StemConfig, StemRootSampler};
     ///
@@ -121,23 +127,22 @@ impl StemRootSampler {
     ///     .map(|i| 100.0 + (i % 7) as f64)
     ///     .collect();
     /// let sampler = StemRootSampler::new(StemConfig::default());
-    /// let plan = sampler.plan_from_times(workload, &times, 0);
+    /// let plan = sampler.plan_from_times(workload, &times, 0)?;
     /// assert!(plan.num_samples() > 0);
+    /// # Ok(())
+    /// # }
     /// ```
     pub fn plan_from_times(
         &self,
         workload: &Workload,
         times: &[f64],
         rep_seed: u64,
-    ) -> SamplingPlan {
-        match self.try_plan_from_times(workload, times, rep_seed) {
-            Ok(plan) => plan,
-            Err(e) => panic!("{e}"),
-        }
+    ) -> Result<SamplingPlan, StemError> {
+        self.try_plan_from_times(workload, times, rep_seed)
     }
 
-    /// Fallible variant of [`StemRootSampler::plan_from_times`] for
-    /// ingestion paths: external profiles must never panic the sampler.
+    /// Alias of [`StemRootSampler::plan_from_times`], kept for symmetry
+    /// with the other `try_` planners on this type.
     ///
     /// # Errors
     ///

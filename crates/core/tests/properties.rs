@@ -98,7 +98,9 @@ fn plan_from_times_is_well_formed() {
         let seed = rng.random_range(0u64..50);
         let w = flat_workload(times.len());
         let sampler = StemRootSampler::new(StemConfig::paper());
-        let plan = sampler.plan_from_times(&w, &times, seed);
+        let plan = sampler
+            .plan_from_times(&w, &times, seed)
+            .expect("well-formed profile");
         assert!(plan.predicted_error() <= 0.05 + 1e-9, "case {case}");
         let total_weight = plan.total_weight();
         let n = times.len() as f64;
@@ -121,7 +123,9 @@ fn predicted_error_matches_bound() {
         let times = gen_times(&mut rng);
         let w = flat_workload(times.len());
         let sampler = StemRootSampler::new(StemConfig::paper());
-        let plan = sampler.plan_from_times(&w, &times, 3);
+        let plan = sampler
+            .plan_from_times(&w, &times, 3)
+            .expect("well-formed profile");
         let stats: Vec<ClusterStat> = plan
             .clusters()
             .iter()
@@ -142,9 +146,11 @@ fn tighter_epsilon_monotone() {
         let w = flat_workload(times.len());
         let tight = StemRootSampler::new(StemConfig::paper().with_epsilon(0.01))
             .plan_from_times(&w, &times, 1)
+            .expect("well-formed profile")
             .num_samples();
         let loose = StemRootSampler::new(StemConfig::paper().with_epsilon(0.25))
             .plan_from_times(&w, &times, 1)
+            .expect("well-formed profile")
             .num_samples();
         assert!(tight >= loose, "case {case}: tight {tight} < loose {loose}");
     }

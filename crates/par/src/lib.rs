@@ -32,6 +32,11 @@
 //! variable overrides it, and `1` short-circuits to a plain serial loop —
 //! byte-for-byte the pre-parallelism code path.
 //!
+//! For long campaigns where a worker panic must not tear down the whole
+//! map, the [`supervisor`] module wraps the same primitives in
+//! panic-isolated, deterministically-retried execution
+//! ([`supervised_map_range`]).
+//!
 //! # Example
 //!
 //! ```
@@ -55,6 +60,12 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod supervisor;
+
+pub use supervisor::{
+    supervised_map_indexed, supervised_map_range, ExecLog, Supervisor, TaskCtx, TaskFailure,
+};
 
 /// Environment variable overriding the default thread count.
 pub const THREADS_ENV: &str = "STEM_THREADS";
@@ -243,7 +254,7 @@ where
     acc
 }
 
-fn chunk_size(len: usize, threads: usize) -> usize {
+pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
     let target_chunks = threads * CHUNKS_PER_WORKER;
     ((len + target_chunks - 1) / target_chunks).max(1)
 }

@@ -6,7 +6,10 @@
 //! case number. The property under test is always *bit-equality with the
 //! serial code path* — parallelism must be invisible in results.
 
-use stem_par::{par_map_indexed, par_map_range, par_reduce_ordered, split_seed, Parallelism};
+use stem_par::{
+    par_map_indexed, par_map_range, par_reduce_ordered, split_seed, supervised_map_indexed,
+    Parallelism, Supervisor, TaskCtx,
+};
 use stem_stats::rng::{RngCore, RngExt, SeedableRng, StdRng};
 
 const CASES: u64 = 64;
@@ -155,6 +158,108 @@ fn split_seed_streams_are_distinct_and_stable() {
         let mut seen = std::collections::HashSet::new();
         for i in 0..1000u64 {
             assert!(seen.insert(split_seed(base, i)), "collision at base {base} index {i}");
+        }
+    }
+}
+
+/// Deterministic per-attempt fault: task `i` panics while
+/// `attempt < faulty_attempts` whenever its seeded coin lands heads.
+fn injected_panic(seed: u64, ctx: TaskCtx, fraction: f64, faulty_attempts: u32) {
+    if ctx.attempt < faulty_attempts {
+        let mut rng = StdRng::seed_from_u64(split_seed(seed ^ 0xFA_17, ctx.index as u64));
+        assert!(!rng.random_bool(fraction), "injected panic at task {}", ctx.index);
+    }
+}
+
+#[test]
+fn supervised_quiet_path_is_bit_identical_to_unsupervised() {
+    // 64 random shapes: with no faults, the supervisor must be invisible —
+    // same bits as par_map_indexed at every thread count, quiet log.
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let (seed, items, threads) = triple(&mut rng);
+        let plain = par_map_indexed(Parallelism::serial(), &items, |i, &x| {
+            seeded_map(seed, i, x)
+        });
+        let (out, log) = supervised_map_indexed(
+            Parallelism::with_threads(threads),
+            &items,
+            &Supervisor::new(),
+            |ctx, &x| seeded_map(seed, ctx.index, x),
+        )
+        .expect("no faults injected");
+        let same = out.len() == plain.len()
+            && out.iter().zip(&plain).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "case {case}: supervised map diverged (threads {threads})");
+        assert!(log.is_quiet(), "case {case}: {log:?}");
+    }
+}
+
+#[test]
+fn supervised_recovery_is_bit_identical_to_unfaulted_run() {
+    // 64 random shapes with seeded single-attempt faults: the retried
+    // tasks must recompute exactly the bits an un-faulted run produces,
+    // and the recovered-task set must replay identically at every thread
+    // count (it derives from task indices, never worker identity).
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let (seed, items, threads) = triple(&mut rng);
+        if items.is_empty() {
+            continue;
+        }
+        let clean = par_map_indexed(Parallelism::serial(), &items, |i, &x| {
+            seeded_map(seed, i, x)
+        });
+        let run = |t: usize| {
+            supervised_map_indexed(
+                Parallelism::with_threads(t),
+                &items,
+                &Supervisor::new(),
+                |ctx, &x| {
+                    injected_panic(seed, ctx, 0.25, 1);
+                    seeded_map(seed, ctx.index, x)
+                },
+            )
+            .expect("one retry covers single-attempt faults")
+        };
+        let (out, log) = run(threads);
+        let same = out.len() == clean.len()
+            && out.iter().zip(&clean).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "case {case}: recovered run diverged (threads {threads})");
+        assert_eq!(log.retries as usize, log.recovered.len(), "case {case}");
+        let (_, serial_log) = run(1);
+        assert_eq!(
+            log.recovered, serial_log.recovered,
+            "case {case}: recovery set depends on thread count"
+        );
+    }
+}
+
+#[test]
+fn supervised_failure_index_is_thread_count_invariant() {
+    // Permanent faults (attempt-independent): the reported failure must be
+    // the lowest faulty index regardless of thread count.
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let (seed, items, threads) = triple(&mut rng);
+        let expected_fail = (0..items.len()).find(|&i| {
+            let mut r = StdRng::seed_from_u64(split_seed(seed ^ 0xFA_17, i as u64));
+            r.random_bool(0.2)
+        });
+        let Some(expected) = expected_fail else { continue };
+        for t in [1, threads] {
+            let err = supervised_map_indexed(
+                Parallelism::with_threads(t),
+                &items,
+                &Supervisor::new().with_retry_budget(1),
+                |ctx, &x| {
+                    injected_panic(seed, ctx, 0.2, u32::MAX);
+                    seeded_map(seed, ctx.index, x)
+                },
+            )
+            .expect_err("permanent faults must exhaust the budget");
+            assert_eq!(err.index, expected, "case {case}: threads {t}");
+            assert_eq!(err.attempts, 2, "case {case}: threads {t}");
         }
     }
 }

@@ -13,6 +13,14 @@
 //! The companion [`crate::validate`] module detects and repairs these
 //! faults; the taxonomy here and the detectors there are intentionally
 //! developed against each other.
+//!
+//! Beyond *data* faults, [`ExecFaultPlan`] injects **runtime** faults —
+//! seeded worker panics by task index, slow-task stalls, a simulated
+//! process kill after N completed campaign units, and checkpoint-snapshot
+//! corruption — driving the supervised-execution and crash-resume recovery
+//! paths the same way [`FaultPlan`] drives trace repair.
+
+use std::time::Duration;
 
 use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
@@ -333,6 +341,177 @@ fn apply_one(fault: &Fault, rng: &mut StdRng, mut records: Vec<TraceRecord>) -> 
     }
 }
 
+/// One way to damage a serialized campaign snapshot. Applied by
+/// [`ExecFaultPlan::corrupt_snapshot`]; the crash-resume machinery must
+/// detect every one of these, quarantine the file, and fall back to a
+/// fresh run — never trust the damaged bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFault {
+    /// The trailing half of the file is cut off (process died mid-write of
+    /// a non-atomic copy, disk full, …).
+    TruncateTail,
+    /// One seeded byte is flipped (bit rot, torn sector).
+    FlipByte,
+    /// The version header is rewritten to an unknown future version (a
+    /// snapshot left behind by a newer build).
+    StaleVersion,
+}
+
+/// A seeded plan of *runtime* faults, the execution-level counterpart of
+/// [`FaultPlan`]: worker panics keyed by task index, slow-task stalls, a
+/// simulated process kill after N completed campaign units, and snapshot
+/// corruption. Every decision derives from `(seed, task index)` — never
+/// from worker identity or timing — so a chaos run replays exactly and is
+/// thread-count-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecFaultPlan {
+    seed: u64,
+    panic_fraction: f64,
+    /// Injected panics fire while `attempt < panic_attempts`; a retry
+    /// budget at least this large recovers every injected panic.
+    panic_attempts: u32,
+    stall_fraction: f64,
+    stall: Duration,
+    kill_after_units: Option<u64>,
+    snapshot_faults: Vec<SnapshotFault>,
+}
+
+impl ExecFaultPlan {
+    /// An empty plan (no runtime faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ExecFaultPlan {
+            seed,
+            panic_fraction: 0.0,
+            panic_attempts: 0,
+            stall_fraction: 0.0,
+            stall: Duration::ZERO,
+            kill_after_units: None,
+            snapshot_faults: Vec::new(),
+        }
+    }
+
+    /// Each task panics with probability `fraction` (seeded by task index)
+    /// on its first `attempts` attempts, then succeeds — a transient fault
+    /// a retry budget of `attempts` absorbs completely. `attempts` of
+    /// `u32::MAX` makes the fault permanent.
+    pub fn with_worker_panics(mut self, fraction: f64, attempts: u32) -> Self {
+        self.panic_fraction = fraction;
+        self.panic_attempts = attempts;
+        self
+    }
+
+    /// Each task stalls for `stall` with probability `fraction` (seeded by
+    /// task index) — the straggler a soft deadline should flag.
+    pub fn with_stalls(mut self, fraction: f64, stall: Duration) -> Self {
+        self.stall_fraction = fraction;
+        self.stall = stall;
+        self
+    }
+
+    /// Simulates the process dying mid-campaign: after `units` campaign
+    /// units have been admitted, no further unit starts. Admitted units
+    /// run to completion and are checkpointed (like a graceful SIGTERM
+    /// draining in-flight work), then the campaign returns a typed
+    /// interruption error. Admission-based gating keeps the kill point
+    /// deterministic at every thread count.
+    pub fn with_kill_after_units(mut self, units: u64) -> Self {
+        self.kill_after_units = Some(units);
+        self
+    }
+
+    /// Appends a snapshot corruption (applied by
+    /// [`ExecFaultPlan::corrupt_snapshot`], in order).
+    pub fn with_snapshot_fault(mut self, fault: SnapshotFault) -> Self {
+        self.snapshot_faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The simulated-kill budget, if any.
+    pub fn kill_after_units(&self) -> Option<u64> {
+        self.kill_after_units
+    }
+
+    /// Whether the plan injects a panic into `(task, attempt)`. Pure in
+    /// `(seed, task)` with an attempt cutoff, so retries of a transient
+    /// fault deterministically succeed.
+    pub fn panics_at(&self, task: u64, attempt: u32) -> bool {
+        attempt < self.panic_attempts && self.coin(task, 0xFA_117).random_bool(self.panic_fraction)
+    }
+
+    /// Injects this plan's per-task faults: stalls first, then panics.
+    ///
+    /// An injected panic unwinds via [`std::panic::panic_any`] with a
+    /// `String` payload (not the `panic!` macro: injection is a deliberate,
+    /// typed test stimulus for the supervisor, not an ingestion-path
+    /// assertion), so the supervisor reports the message verbatim.
+    pub fn inject(&self, task: u64, attempt: u32) {
+        if self.coin(task, 0x57A_11).random_bool(self.stall_fraction) {
+            std::thread::sleep(self.stall);
+        }
+        if self.panics_at(task, attempt) {
+            std::panic::panic_any(format!(
+                "injected worker panic: task {task}, attempt {attempt}"
+            ));
+        }
+    }
+
+    /// Applies every queued [`SnapshotFault`] to a serialized snapshot, in
+    /// order. Corruption is seeded: the same plan damages the same bytes.
+    pub fn corrupt_snapshot(&self, snapshot: &str) -> String {
+        let mut text = snapshot.to_string();
+        for (i, fault) in self.snapshot_faults.iter().enumerate() {
+            let mut rng = self.coin(i as u64, 0x5A_9F);
+            text = match fault {
+                SnapshotFault::TruncateTail => {
+                    let keep = text.len() / 2;
+                    let mut cut = keep;
+                    while cut > 0 && !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    text[..cut].to_string()
+                }
+                SnapshotFault::FlipByte => {
+                    let mut bytes = text.into_bytes();
+                    if !bytes.is_empty() {
+                        let pos = rng.random_range(0..bytes.len());
+                        // Flip within the ASCII printable range so the
+                        // result stays valid UTF-8 but fails the checksum.
+                        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+                    }
+                    String::from_utf8_lossy(&bytes).into_owned()
+                }
+                SnapshotFault::StaleVersion => {
+                    let mut lines: Vec<&str> = text.lines().collect();
+                    let futured;
+                    if let Some(first) = lines.first_mut() {
+                        futured = format!("{} v999", first.split(" v").next().unwrap_or(first));
+                        *first = &futured;
+                    }
+                    let mut out = lines.join("\n");
+                    out.push('\n');
+                    out
+                }
+            };
+        }
+        text
+    }
+
+    /// Decorrelated per-decision generator: the stream depends on the plan
+    /// seed, the task index, and the fault family, so panic and stall
+    /// draws never alias.
+    fn coin(&self, task: u64, family: u64) -> StdRng {
+        let mix = (task.wrapping_add(1))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(family.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        StdRng::seed_from_u64(self.seed ^ mix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +639,66 @@ mod tests {
         let mut lines = bad.lines();
         assert_eq!(lines.next(), Some("index,start,time"));
         assert!(lines.any(|l| l.split(',').count() == 2));
+    }
+
+    #[test]
+    fn exec_panic_decisions_are_deterministic_and_attempt_bounded() {
+        let plan = ExecFaultPlan::new(0xEC0).with_worker_panics(0.3, 2);
+        let hit: Vec<u64> = (0..200).filter(|&t| plan.panics_at(t, 0)).collect();
+        assert!(!hit.is_empty() && hit.len() < 200, "fraction ~0.3: {}", hit.len());
+        for &t in &hit {
+            assert!(plan.panics_at(t, 1), "fault persists through its attempt budget");
+            assert!(!plan.panics_at(t, 2), "fault clears past the attempt budget");
+        }
+        let replay: Vec<u64> = (0..200).filter(|&t| plan.panics_at(t, 0)).collect();
+        assert_eq!(hit, replay);
+        let other: Vec<u64> = {
+            let p = ExecFaultPlan::new(0xEC1).with_worker_panics(0.3, 2);
+            (0..200).filter(|&t| p.panics_at(t, 0)).collect()
+        };
+        assert_ne!(hit, other, "different seeds must pick different tasks");
+    }
+
+    #[test]
+    fn inject_unwinds_with_a_string_payload() {
+        let plan = ExecFaultPlan::new(3).with_worker_panics(1.0, 1);
+        let caught = std::panic::catch_unwind(|| plan.inject(7, 0)).expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().expect("String payload");
+        assert_eq!(msg, "injected worker panic: task 7, attempt 0");
+        // Past the attempt budget the same task runs clean.
+        plan.inject(7, 1);
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = ExecFaultPlan::new(3);
+        for t in 0..50 {
+            plan.inject(t, 0);
+        }
+        assert_eq!(plan.kill_after_units(), None);
+        assert_eq!(
+            ExecFaultPlan::new(3).with_kill_after_units(4).kill_after_units(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn snapshot_corruptions_damage_and_replay() {
+        let snapshot = "STEM-CAMPAIGN-SNAPSHOT v1\nfingerprint 00ff\nunit 0 0 1 2 3 4\nchecksum abcd\n";
+        for fault in [
+            SnapshotFault::TruncateTail,
+            SnapshotFault::FlipByte,
+            SnapshotFault::StaleVersion,
+        ] {
+            let plan = ExecFaultPlan::new(11).with_snapshot_fault(fault);
+            let bad = plan.corrupt_snapshot(snapshot);
+            assert_ne!(bad, snapshot, "{fault:?} left the snapshot intact");
+            assert_eq!(bad, plan.corrupt_snapshot(snapshot), "{fault:?} not seeded");
+        }
+        let stale = ExecFaultPlan::new(11)
+            .with_snapshot_fault(SnapshotFault::StaleVersion)
+            .corrupt_snapshot(snapshot);
+        assert!(stale.starts_with("STEM-CAMPAIGN-SNAPSHOT v999\n"), "{stale}");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub struct SimCache {
     shards: Vec<Mutex<HashMap<u128, KernelTiming>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl Default for SimCache {
@@ -51,12 +52,13 @@ impl SimCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
     /// Number of memoised timings.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+        (0..SHARDS).map(|i| self.lock_shard(i).len()).sum()
     }
 
     /// True if nothing has been memoised yet.
@@ -85,30 +87,70 @@ impl SimCache {
         }
     }
 
+    /// Shard-lock poisonings recovered so far (see [`SimCache::lock_shard`]).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Returns the memoised timing for `key`, computing and inserting it on
     /// a miss. `compute` runs outside the shard lock so a slow simulation
     /// never blocks other shard traffic; a racing duplicate insert is
     /// harmless because the computed value is a pure function of the key.
     fn get_or_insert(&self, key: u128, compute: impl FnOnce() -> KernelTiming) -> KernelTiming {
-        let shard = &self.shards[(key as usize) & (SHARDS - 1)];
-        if let Some(&t) = lock_shard(shard).get(&key) {
+        let shard = (key as usize) & (SHARDS - 1);
+        if let Some(&t) = self.lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return t;
         }
         let t = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        lock_shard(shard).insert(key, t);
+        self.lock_shard(shard).insert(key, t);
         t
     }
-}
 
-/// Locks one shard. A poisoned shard means a worker thread already
-/// panicked; that panic is re-raised by the pool's join, so there is no
-/// state worth salvaging here and propagating is the only sane option.
-fn lock_shard(
-    shard: &Mutex<HashMap<u128, KernelTiming>>,
-) -> std::sync::MutexGuard<'_, HashMap<u128, KernelTiming>> {
-    shard.lock().expect("memo shard poisoned by a worker panic")
+    /// Locks one shard, recovering from poisoning. A poisoned shard means
+    /// a worker panicked while holding the lock; under supervised
+    /// execution that worker's task is retried rather than tearing down
+    /// the pool, so the cache must stay usable. Every memoised value is a
+    /// pure function of its key, which makes the recovery trivially sound:
+    /// clear the shard and let it rebuild — a rebuilt entry is
+    /// bit-identical to the lost one, so recovery is output-invisible
+    /// (only the hit rate and [`SimCache::poison_recoveries`] move).
+    fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, HashMap<u128, KernelTiming>> {
+        match self.shards[shard].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                self.shards[shard].clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
+    /// Chaos injection: poisons shard `index % num_shards` by panicking a
+    /// throwaway thread while it holds the lock — the state a worker panic
+    /// mid-insert leaves behind. The next access recovers (clears and
+    /// rebuilds the shard); results are unaffected.
+    pub fn poison_shard(&self, index: usize) {
+        let shard = &self.shards[index % SHARDS];
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = shard.lock();
+                // Poison the mutex without the panic! macro: this is a
+                // deliberate, typed chaos stimulus, not a hot-path bug.
+                std::panic::panic_any("injected memo-shard poisoning");
+            });
+            // The join error is the injected panic itself.
+            let _ = handle.join();
+        });
+    }
+
+    /// Number of shards (the modulus [`SimCache::poison_shard`] applies).
+    pub fn num_shards(&self) -> usize {
+        SHARDS
+    }
 }
 
 /// Incremental dual-stream 64-bit fingerprint (FNV-1a plus an independent
@@ -354,5 +396,53 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
         assert_eq!(cache.hit_rate(), 0.0);
+        assert_eq!(cache.poison_recoveries(), 0);
+    }
+
+    #[test]
+    fn poisoned_shard_is_recovered_and_output_invisible() {
+        let w = &rodinia_suite(5)[0];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(400));
+        let plain = sim.run_sampled(w, &samples);
+        let cache = SimCache::new();
+        let par = Parallelism::with_threads(4);
+        // Warm the cache, then poison every shard — the worst case a
+        // storm of worker panics could leave behind.
+        let cold = sim.run_sampled_cached(w, &samples, par, &cache);
+        assert_eq!(cold, plain);
+        for shard in 0..cache.num_shards() {
+            cache.poison_shard(shard);
+        }
+        let after = sim.run_sampled_cached(w, &samples, par, &cache);
+        assert_eq!(after, plain, "recovery must be output-invisible");
+        assert!(
+            cache.poison_recoveries() >= 1,
+            "recoveries must be counted: {}",
+            cache.poison_recoveries()
+        );
+    }
+
+    #[test]
+    fn poison_recovery_rebuilds_the_shard() {
+        let w = &rodinia_suite(5)[1];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(200));
+        let cache = SimCache::new();
+        sim.run_sampled_cached(w, &samples, Parallelism::serial(), &cache);
+        let warm_len = cache.len();
+        assert!(warm_len > 0);
+        cache.poison_shard(3);
+        // `len` touches every shard, recovering (clearing) the poisoned
+        // one; the rest keep their entries.
+        let after_poison = cache.len();
+        assert!(after_poison <= warm_len);
+        assert_eq!(cache.poison_recoveries(), 1);
+        // A re-run repopulates whatever the recovery dropped.
+        let rerun = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &cache);
+        assert_eq!(rerun, sim.run_sampled(w, &samples));
+        assert_eq!(cache.len(), warm_len);
+        // Recovery happened once; the shard is healthy again.
+        assert_eq!(cache.poison_recoveries(), 1);
     }
 }

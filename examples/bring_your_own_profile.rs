@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let sampler = StemRootSampler::new(StemConfig::default());
-    let plan = sampler.plan_from_times(&workload, profile.times(), 0);
+    let plan = sampler.plan_from_times(&workload, profile.times(), 0)?;
     println!(
         "plan: {} samples across {} clusters, predicted error {:.2}%",
         plan.num_samples(),

@@ -72,12 +72,14 @@ pub mod prelude {
         PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler,
     };
     pub use gpu_profile::{
-        DataQualityReport, Fault, FaultPlan, TraceRecord, TraceValidator,
+        DataQualityReport, ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord,
+        TraceValidator,
     };
     pub use stem_core::sampler::KernelSampler;
-    pub use stem_par::Parallelism;
+    pub use stem_par::{ExecLog, Parallelism, Supervisor, TaskFailure};
     pub use stem_core::{
-        Pipeline, RecoveryPolicy, SamplingPlan, StemConfig, StemError, StemRootSampler,
+        CampaignReport, Pipeline, QuarantinedSnapshot, RecoveryPolicy, SamplingPlan,
+        SnapshotError, StemConfig, StemError, StemRootSampler,
     };
 }
 

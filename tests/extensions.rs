@@ -65,7 +65,9 @@ fn external_workload_and_profile_roundtrip_plan() {
     let parsed = ExecTimeProfile::from_csv_string(&csv).expect("profile round trip");
 
     let sampler = StemRootSampler::new(StemConfig::default());
-    let plan = sampler.plan_from_times(&workload, parsed.times(), 0);
+    let plan = sampler
+        .plan_from_times(&workload, parsed.times(), 0)
+        .expect("well-formed profile");
     let full = sim.run_full(&workload);
     let run = sim.run_sampled(&workload, plan.samples());
     assert!(run.error(full.total_cycles) < 0.05);
