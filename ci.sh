@@ -12,7 +12,15 @@ cargo test --workspace -q --offline
 cargo test -q --offline --test chaos
 cargo test -q --offline --test crash_resume
 cargo test -q --offline --test parallel_equivalence
+cargo test -q --offline --test hotpath_equivalence
 # Threads=1 vs threads=4 smoke check: asserts bit-identical results only;
 # the printed speedup is informational (never a gate).
 cargo test -q --offline -p stem-bench --test scaling_smoke -- --nocapture
 cargo run -p stem-tidy --release --offline
+# Hot-path perf baseline: informational only, never a gate (CI machines
+# are too noisy for wall-clock thresholds). Reference numbers live in
+# EXPERIMENTS.md; regenerate the committed baseline with
+#   STEM_THREADS=1 cargo run -p stem-bench --release --bin perf -- --hf-scale 0.05
+STEM_THREADS=1 cargo run -p stem-bench --release --offline --bin perf -- \
+  --hf-scale 0.02 --reps 2 --out target/BENCH_hotpath_ci.json || \
+  echo "perf baseline run failed (informational, not a gate)"

@@ -158,14 +158,18 @@ impl KernelSampler for PkaSampler {
         let (_, km) = best.expect("at least one k was tried");
 
         // Gather each final cluster's member invocations (in stream order).
-        let mut cluster_members: Vec<Vec<usize>> = vec![Vec::new(); km.k()];
-        for (slot, &assignment) in km.assignments().iter().enumerate() {
-            cluster_members[assignment].extend_from_slice(&dd.members[slot]);
-        }
+        // The CSR membership view walks the assignment vector once; only
+        // one member buffer is live at a time instead of k eager vectors.
+        let membership = km.membership();
         let mut rng = StdRng::seed_from_u64(rep_seed ^ 0x9ca1_0b5e);
         let mut samples = Vec::new();
         let mut summaries = Vec::new();
-        for members in cluster_members.iter_mut() {
+        let mut members: Vec<usize> = Vec::new();
+        for slots in membership.iter() {
+            members.clear();
+            for &slot in slots {
+                members.extend_from_slice(&dd.members[slot]);
+            }
             if members.is_empty() {
                 continue;
             }

@@ -174,14 +174,15 @@ pub fn eval_method_on_suite(
 }
 
 /// Suite-level aggregation: harmonic-mean speedup and arithmetic-mean error
-/// across workloads (each itself aggregated over reps).
+/// across workloads (each itself aggregated over reps). One streaming pass
+/// in workload order — bit-identical to the collect-then-mean double pass
+/// it replaces (both are left-to-right sums).
 pub fn aggregate(summaries: &[EvalSummary]) -> (f64, f64) {
-    let speedups: Vec<f64> = summaries.iter().map(|s| s.harmonic_speedup).collect();
-    let errors: Vec<f64> = summaries.iter().map(|s| s.mean_error_pct).collect();
-    (
-        stem_core::eval::harmonic_mean(&speedups),
-        stem_core::eval::arithmetic_mean(&errors),
-    )
+    let mut agg = stem_core::StreamingAggregate::new();
+    for s in summaries {
+        agg.push(s.mean_error_pct, s.harmonic_speedup);
+    }
+    (agg.harmonic_speedup(), agg.mean_error_pct())
 }
 
 #[cfg(test)]

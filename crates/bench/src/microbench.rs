@@ -180,6 +180,89 @@ pub fn scaling_smoke_check(threads: usize) -> ScalingCheck {
     check
 }
 
+/// Outcome of the grouped vs per-invocation ground-truth timing probe
+/// ([`grouped_timing_check`]).
+#[derive(Debug, Clone)]
+pub struct GroupedTimingCheck {
+    /// Workload the probe ran on.
+    pub workload: String,
+    /// Distinct invocation groups (deterministic cores computed).
+    pub groups: usize,
+    /// Total invocations (jitter draws applied).
+    pub invocations: usize,
+    /// Wall-clock of the grouped fast path, nanoseconds.
+    pub grouped_ns: f64,
+    /// Wall-clock of the per-invocation reference path, nanoseconds.
+    pub per_invocation_ns: f64,
+    /// per-invocation / grouped wall-clock ratio.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical full runs. This is the
+    /// only field tests may gate on — timing is informational.
+    pub identical: bool,
+}
+
+impl GroupedTimingCheck {
+    fn report(&self) {
+        println!(
+            "grouped {:<36} per-invocation {:>12}  grouped {:>12}  ({} groups / {} invocations)  speedup {:.2}x  identical: {}",
+            self.workload,
+            fmt_ns(self.per_invocation_ns),
+            fmt_ns(self.grouped_ns),
+            self.groups,
+            self.invocations,
+            self.speedup,
+            self.identical
+        );
+    }
+}
+
+/// Times the ground-truth simulation of the largest HuggingFace workload
+/// twice — once on the grouped deterministic-core/jitter fast path
+/// (`Simulator::run_full`), once on the pre-overhaul per-invocation
+/// reference (`gpu_sim::simulator::reference::run_full`) — and reports the
+/// wall-clock ratio.
+///
+/// The regression contract is [`GroupedTimingCheck::identical`]: the two
+/// paths must produce bit-identical [`gpu_sim::FullRun`]s. The speedup is
+/// informational only (CI machines are too noisy for wall-clock gates).
+///
+/// # Panics
+///
+/// Panics if the HuggingFace suite is empty.
+pub fn grouped_timing_check() -> GroupedTimingCheck {
+    use crate::harness::ExperimentOptions;
+    use gpu_sim::simulator::reference as sim_reference;
+    use gpu_workload::SuiteKind;
+
+    let options = ExperimentOptions::fast();
+    let suite = options.suite(SuiteKind::Huggingface);
+    let workload = suite
+        .into_iter()
+        .max_by_key(gpu_workload::Workload::num_invocations)
+        .expect("huggingface suite is non-empty");
+    let sim = options.simulator();
+
+    let t = Instant::now();
+    let grouped = sim.run_full(&workload);
+    let grouped_ns = t.elapsed().as_nanos() as f64;
+
+    let t = Instant::now();
+    let per_invocation = sim_reference::run_full(&sim, &workload);
+    let per_invocation_ns = t.elapsed().as_nanos() as f64;
+
+    let check = GroupedTimingCheck {
+        workload: workload.name().to_string(),
+        groups: workload.num_invocation_groups(),
+        invocations: workload.num_invocations(),
+        grouped_ns,
+        per_invocation_ns,
+        speedup: per_invocation_ns / grouped_ns.max(1.0),
+        identical: grouped == per_invocation,
+    };
+    check.report();
+    check
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

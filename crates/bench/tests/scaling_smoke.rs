@@ -5,7 +5,24 @@
 //! `--nocapture` to see it) but never gated on — CI machines are too noisy
 //! for wall-clock thresholds.
 
-use stem_bench::microbench::scaling_smoke_check;
+use stem_bench::microbench::{grouped_timing_check, scaling_smoke_check};
+
+/// Regression entry for the deterministic-core/jitter split: the grouped
+/// ground-truth path must stay bit-identical to the per-invocation
+/// reference; its measured speedup is printed but never gated on.
+#[test]
+fn grouped_timing_matches_per_invocation_reference() {
+    let check = grouped_timing_check();
+    println!(
+        "grouped vs per-invocation on {}: {:.2}x speedup (informational)",
+        check.workload, check.speedup
+    );
+    assert!(
+        check.identical,
+        "grouped fast path diverged from the per-invocation reference on {}",
+        check.workload
+    );
+}
 
 #[test]
 fn parallel_run_matches_serial_and_reports_speedup() {

@@ -7,9 +7,14 @@
 
 /// Squared euclidean distance.
 ///
+/// `#[inline]` because this is the innermost call of the k-means
+/// assignment loop; cross-crate inlining lets the caller keep both slices
+/// in registers.
+///
 /// # Panics
 ///
 /// Panics if the vectors have different lengths.
+#[inline]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
     a.iter()

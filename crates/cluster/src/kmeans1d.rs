@@ -46,6 +46,30 @@ pub fn best_two_split(values: &[f64]) -> TwoSplit {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
+    best_two_split_sorted(&sorted)
+}
+
+/// [`best_two_split`] for values already sorted by [`f64::total_cmp`] —
+/// the entry point for ROOT's sort-once recursion, where children of a
+/// sorted range are contiguous subranges and never need re-sorting. The
+/// arithmetic is exactly [`best_two_split`]'s post-sort arithmetic, so
+/// `best_two_split(v)` and `best_two_split_sorted(sort(v))` return
+/// identical bits.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, contains non-finite values, or is not
+/// sorted by `total_cmp`.
+pub fn best_two_split_sorted(sorted: &[f64]) -> TwoSplit {
+    assert!(!sorted.is_empty(), "cannot split an empty set");
+    assert!(sorted[0].is_finite(), "values must be finite");
+    for w in sorted.windows(2) {
+        assert!(w[1].is_finite(), "values must be finite");
+        assert!(
+            w[0].total_cmp(&w[1]).is_le(),
+            "values must be sorted by total_cmp"
+        );
+    }
     let n = sorted.len();
 
     if n == 1 || sorted[0] == sorted[n - 1] {

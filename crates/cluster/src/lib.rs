@@ -6,7 +6,9 @@
 //! vectors), BBV distance functions and PCA (Photon reduces 800+-dimensional
 //! basic-block vectors), and cluster-quality scores for the k sweep.
 //!
-//! * [`kmeans`] — d-dimensional Lloyd's algorithm with k-means++ seeding.
+//! * [`kmeans`] — d-dimensional Lloyd's algorithm with k-means++ seeding,
+//!   Hamerly-style bounds pruning on a flat point matrix.
+//! * [`matrix`] — the flat row-major storage the hot paths run on.
 //! * [`kmeans1d`] — exact 1-D k-means by dynamic programming, plus the O(n)
 //!   optimal two-way split ROOT uses at every recursion step.
 //! * [`distance`] — euclidean / manhattan / cosine metrics.
@@ -32,8 +34,10 @@
 pub mod distance;
 pub mod kmeans;
 pub mod kmeans1d;
+pub mod matrix;
 pub mod pca;
 pub mod quality;
 
-pub use kmeans::{KMeans, KMeansConfig};
-pub use kmeans1d::{best_two_split, kmeans_1d, TwoSplit};
+pub use kmeans::{ClusterMembership, KMeans, KMeansConfig};
+pub use kmeans1d::{best_two_split, best_two_split_sorted, kmeans_1d, TwoSplit};
+pub use matrix::Matrix;

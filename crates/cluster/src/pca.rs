@@ -7,6 +7,7 @@
 
 #![allow(clippy::needless_range_loop)] // symmetric-matrix math reads best indexed
 
+use crate::matrix::Matrix;
 use stem_par::Parallelism;
 
 /// `points × dim` product above which [`Pca::fit`] opts into the
@@ -57,9 +58,24 @@ impl Pca {
         for p in points {
             assert_eq!(p.len(), dim, "points must share a dimensionality");
         }
-        let n = points.len() as f64;
+        Self::fit_matrix_par(&Matrix::from_rows(points), n_components, par)
+    }
+
+    /// [`Pca::fit_par`] over flat row-major storage, avoiding the
+    /// per-point pointer chase in the mean and covariance passes. The
+    /// accumulation order is exactly that of the nested-`Vec` adapter, so
+    /// the fit is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no rows or `n_components == 0`.
+    pub fn fit_matrix_par(m: &Matrix, n_components: usize, par: Parallelism) -> Self {
+        assert!(m.rows() > 0, "PCA needs at least one point");
+        assert!(n_components > 0, "n_components must be positive");
+        let dim = m.dim();
+        let n = m.rows() as f64;
         let mean: Vec<f64> = stem_par::par_map_range(par, dim, |d| {
-            let sum = points.iter().fold(0.0f64, |acc, p| acc + p[d]);
+            let sum = (0..m.rows()).fold(0.0f64, |acc, r| acc + m.row(r)[d]);
             sum / n
         });
 
@@ -67,7 +83,8 @@ impl Pca {
         // task; every entry folds over points in stream order.
         let mut cov = stem_par::par_map_range(par, dim, |i| {
             let mut row = vec![0.0; dim];
-            for p in points {
+            for r in 0..m.rows() {
+                let p = m.row(r);
                 let di = p[i] - mean[i];
                 for j in i..dim {
                     row[j] += di * (p[j] - mean[j]);

@@ -45,10 +45,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use crate::error::StemError;
-use crate::eval::{arithmetic_mean, harmonic_mean, EvalResult, EvalSummary};
+use crate::eval::{EvalResult, EvalSummary, StreamingAggregate};
 use crate::pipeline::Pipeline;
 use crate::sampler::KernelSampler;
-use gpu_sim::{FullRun, SimCache};
+use gpu_sim::SimCache;
 use gpu_workload::Workload;
 use stem_par::{supervised_map_indexed, ExecLog, Parallelism, TaskFailure};
 
@@ -438,10 +438,11 @@ impl Pipeline {
         let resumed_units = done.len() as u64;
         let missing: Vec<u64> = (0..total_units).filter(|u| !done.contains_key(u)).collect();
 
-        // Ground-truth full runs, computed lazily so fully-resumed
-        // workloads never pay for one. `run_full_par` is bit-identical at
-        // every thread count, so serial inside a worker is safe.
-        let full_runs: Vec<OnceLock<FullRun>> =
+        // Ground-truth totals, computed lazily so fully-resumed workloads
+        // never pay for one. Only the total is needed, so `run_full_total`
+        // skips the per-invocation vector entirely (its in-order fold is
+        // bit-identical to `run_full().total_cycles`).
+        let full_totals: Vec<OnceLock<f64>> =
             (0..workloads.len()).map(|_| OnceLock::new()).collect();
         let cache = SimCache::new();
         let state = Mutex::new(done);
@@ -472,8 +473,8 @@ impl Pipeline {
                 let wi = (unit / reps) as usize;
                 let rep = unit % reps;
                 let workload = &workloads[wi];
-                let full = full_runs[wi]
-                    .get_or_init(|| self.sim.run_full_par(workload, Parallelism::serial()));
+                let full_total = *full_totals[wi]
+                    .get_or_init(|| self.sim.run_full_total(workload, Parallelism::serial()));
                 let seed = self
                     .base_seed
                     .wrapping_add(rep)
@@ -486,8 +487,8 @@ impl Pipeline {
                     &cache,
                 );
                 let record = UnitRecord {
-                    error_pct: run.error(full.total_cycles) * 100.0,
-                    speedup: run.speedup(full.total_cycles),
+                    error_pct: run.error(full_total) * 100.0,
+                    speedup: run.speedup(full_total),
                     num_samples: plan.num_samples(),
                     predicted_error_pct: plan.predicted_error() * 100.0,
                 };
@@ -553,13 +554,15 @@ impl Pipeline {
                     predicted_error_pct: rec.predicted_error_pct,
                 });
             }
-            let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
-            let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+            let mut agg = StreamingAggregate::new();
+            for r in &results {
+                agg.push(r.error_pct, r.speedup);
+            }
             summaries.push(EvalSummary {
                 method: sampler.name().to_string(),
                 workload: workload.name().to_string(),
-                mean_error_pct: arithmetic_mean(&errors),
-                harmonic_speedup: harmonic_mean(&speedups),
+                mean_error_pct: agg.mean_error_pct(),
+                harmonic_speedup: agg.harmonic_speedup(),
                 results,
             });
         }

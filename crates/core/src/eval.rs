@@ -66,6 +66,65 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
     values.len() as f64 / recip
 }
 
+/// One-pass streaming aggregation of per-rep (error, speedup) pairs.
+///
+/// Replaces the collect-two-vectors-then-mean pattern: both
+/// [`arithmetic_mean`] and [`harmonic_mean`] are plain left-to-right
+/// sums, so folding each repetition once, in repetition order, produces
+/// bit-identical aggregates without materializing the intermediate
+/// vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingAggregate {
+    count: usize,
+    error_sum: f64,
+    recip_speedup_sum: f64,
+}
+
+impl StreamingAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one repetition's error (percent) and speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is nonpositive (harmonic means require positive
+    /// values, exactly as [`harmonic_mean`] enforces).
+    pub fn push(&mut self, error_pct: f64, speedup: f64) {
+        assert!(speedup > 0.0, "harmonic mean requires positive values");
+        self.count += 1;
+        self.error_sum += error_pct;
+        self.recip_speedup_sum += 1.0 / speedup;
+    }
+
+    /// Number of repetitions folded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean of the folded errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was folded.
+    pub fn mean_error_pct(&self) -> f64 {
+        assert!(self.count > 0, "mean of empty slice");
+        self.error_sum / self.count as f64
+    }
+
+    /// Harmonic mean of the folded speedups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was folded.
+    pub fn harmonic_speedup(&self) -> f64 {
+        assert!(self.count > 0, "harmonic mean of empty slice");
+        self.count as f64 / self.recip_speedup_sum
+    }
+}
+
 /// Evaluates one sampling method once on one workload against a
 /// pre-computed full run.
 pub fn evaluate_once(
@@ -138,13 +197,15 @@ pub fn evaluate_par(
             predicted_error_pct: plan.predicted_error() * 100.0,
         }
     });
-    let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
-    let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
+    let mut agg = StreamingAggregate::new();
+    for r in &results {
+        agg.push(r.error_pct, r.speedup);
+    }
     EvalSummary {
         method: sampler.name().to_string(),
         workload: workload.name().to_string(),
-        mean_error_pct: arithmetic_mean(&errors),
-        harmonic_speedup: harmonic_mean(&speedups),
+        mean_error_pct: agg.mean_error_pct(),
+        harmonic_speedup: agg.harmonic_speedup(),
         results,
     }
 }
@@ -162,6 +223,27 @@ mod tests {
         assert_eq!(arithmetic_mean(&[1.0, 3.0]), 2.0);
         assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
         assert_eq!(harmonic_mean(&[2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_two_pass_means() {
+        let errors = [1.25, 0.875, 3.5, 0.0625, 2.0];
+        let speedups = [2.0, 8.0, 32.0, 5.0, 11.0];
+        let mut agg = StreamingAggregate::new();
+        for (&e, &s) in errors.iter().zip(&speedups) {
+            agg.push(e, s);
+        }
+        assert_eq!(agg.count(), errors.len());
+        // Bit-identical, not merely close: both sides are the same
+        // left-to-right folds.
+        assert_eq!(agg.mean_error_pct(), arithmetic_mean(&errors));
+        assert_eq!(agg.harmonic_speedup(), harmonic_mean(&speedups));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty slice")]
+    fn empty_aggregate_rejected() {
+        StreamingAggregate::new().mean_error_pct();
     }
 
     #[test]

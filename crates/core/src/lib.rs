@@ -68,7 +68,7 @@ pub use campaign::{CampaignReport, QuarantinedSnapshot, SnapshotError};
 pub use config::StemConfig;
 pub use degrade::RecoveryPolicy;
 pub use error::StemError;
-pub use eval::{EvalResult, EvalSummary};
+pub use eval::{EvalResult, EvalSummary, StreamingAggregate};
 pub use pipeline::Pipeline;
 pub use plan::SamplingPlan;
 pub use sampler::KernelSampler;

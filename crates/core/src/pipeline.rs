@@ -3,7 +3,7 @@
 
 use crate::degrade::RecoveryPolicy;
 use crate::error::StemError;
-use crate::eval::{arithmetic_mean, evaluate_par, harmonic_mean, EvalResult, EvalSummary};
+use crate::eval::{evaluate_par, EvalResult, EvalSummary, StreamingAggregate};
 use crate::sampler::KernelSampler;
 use crate::stem::StemRootSampler;
 use gpu_profile::validate::reconstructed_times;
@@ -273,17 +273,20 @@ impl Pipeline {
             },
         )
         .map_err(StemError::TaskFailure)?;
+        // Stream every rep through the fold once; aggregation order is the
+        // rep index order, bit-identical to the old collect-then-mean pass.
         let mut results = Vec::with_capacity(self.reps as usize);
+        let mut agg = StreamingAggregate::new();
         for outcome in outcomes {
-            results.push(outcome?);
+            let result = outcome?;
+            agg.push(result.error_pct, result.speedup);
+            results.push(result);
         }
-        let errors: Vec<f64> = results.iter().map(|r| r.error_pct).collect();
-        let speedups: Vec<f64> = results.iter().map(|r| r.speedup).collect();
         let summary = EvalSummary {
             method: sampler.name().to_string(),
             workload: workload.name().to_string(),
-            mean_error_pct: arithmetic_mean(&errors),
-            harmonic_speedup: harmonic_mean(&speedups),
+            mean_error_pct: agg.mean_error_pct(),
+            harmonic_speedup: agg.harmonic_speedup(),
             results,
         };
         Ok((summary, report))

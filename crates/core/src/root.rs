@@ -12,7 +12,7 @@
 
 use crate::config::StemConfig;
 use gpu_workload::{KernelId, Workload};
-use stem_cluster::{best_two_split, kmeans_1d};
+use stem_cluster::{best_two_split_sorted, kmeans_1d};
 use stem_stats::clt::sample_size;
 use stem_stats::kkt::{solve_sample_sizes, ClusterStat};
 use stem_stats::Summary;
@@ -60,7 +60,8 @@ pub fn cluster_indices(
     }
     config.validate();
     let mut tagged = Vec::new();
-    split_recursive(KernelId(0), members, times, config, 0, &mut tagged);
+    let (node, stat) = root_node(members, times);
+    split_recursive(KernelId(0), node, stat, config, 0, &mut tagged);
     tagged
         .into_iter()
         .map(|c| IndexCluster {
@@ -119,28 +120,52 @@ pub fn cluster_workload_par(
         workload.invocations_by_kernel().into_iter().collect();
     let per_group = stem_par::par_map_indexed(par, &groups, |_, (kernel, members)| {
         let mut local = Vec::new();
-        split_recursive(*kernel, members.clone(), times, config, 0, &mut local);
+        let (node, stat) = root_node(members.clone(), times);
+        split_recursive(*kernel, node, stat, config, 0, &mut local);
         local
     });
     per_group.into_iter().flatten().collect()
 }
 
-/// Recursive splitter for one cluster of one kernel.
-fn split_recursive(
-    kernel: KernelId,
+/// Per-node state carried down ROOT's recursion: member indices and their
+/// times in stream order, plus the same times sorted once by `total_cmp`.
+/// A sorted array is a unique function of its value multiset, and the two
+/// children of a sorted range are contiguous subranges — so the recursion
+/// sorts each kernel group exactly once at the root and every descendant
+/// split is O(n), where it used to re-sort at every node.
+struct Node {
     members: Vec<usize>,
-    times: &[f64],
-    config: &StemConfig,
-    depth: usize,
-    out: &mut Vec<KernelCluster>,
-) {
-    let summary: Summary = members.iter().map(|&i| times[i]).collect();
+    values: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+/// Builds a root [`Node`] plus its statistics from raw member indices.
+fn root_node(members: Vec<usize>, times: &[f64]) -> (Node, ClusterStat) {
+    let values: Vec<f64> = members.iter().map(|&i| times[i]).collect();
+    let summary: Summary = values.iter().copied().collect();
     let stat = ClusterStat::new(
         members.len() as u64,
         summary.mean(),
         summary.population_std_dev(),
     );
+    let mut sorted = values.clone();
+    sorted.sort_by(f64::total_cmp);
+    (Node { members, values, sorted }, stat)
+}
 
+/// Recursive splitter for one cluster of one kernel. `stat` is the node's
+/// statistics, computed by the parent (the same stream-order [`Summary`]
+/// fold the parent needed for its own tau comparison — passing it down
+/// halves the folding work and changes no bits).
+fn split_recursive(
+    kernel: KernelId,
+    node: Node,
+    stat: ClusterStat,
+    config: &StemConfig,
+    depth: usize,
+    out: &mut Vec<KernelCluster>,
+) {
+    let Node { members, values, sorted } = node;
     let stop_here = members.len() < config.min_split_size
         || stat.std_dev == 0.0
         || depth >= config.max_depth;
@@ -160,7 +185,7 @@ fn split_recursive(
     let tau_old = m_old as f64 * stat.mean;
 
     // Split into k sub-clusters by execution time.
-    let children = split_once(&members, times, config.k_split);
+    let children = split_once(&members, &values, &sorted, config.k_split);
     if children.len() < 2 {
         out.push(KernelCluster {
             kernel,
@@ -174,16 +199,16 @@ fn split_recursive(
     let child_stats: Vec<ClusterStat> = children
         .iter()
         .map(|c| {
-            let s: Summary = c.iter().map(|&i| times[i]).collect();
-            ClusterStat::new(c.len() as u64, s.mean(), s.population_std_dev())
+            let s: Summary = c.values.iter().copied().collect();
+            ClusterStat::new(c.members.len() as u64, s.mean(), s.population_std_dev())
         })
         .collect();
     let sol = solve_sample_sizes(&child_stats, eps, z);
     let tau_new = sol.tau;
 
     if tau_new < tau_old {
-        for child in children {
-            split_recursive(kernel, child, times, config, depth + 1, out);
+        for (child, child_stat) in children.into_iter().zip(child_stats) {
+            split_recursive(kernel, child, child_stat, config, depth + 1, out);
         }
     } else {
         out.push(KernelCluster {
@@ -194,34 +219,63 @@ fn split_recursive(
     }
 }
 
-/// One k-way 1-D split. Uses the exact O(n log n) two-way split for `k = 2`
-/// (the paper's setting) and the exact DP for larger `k`. Children that
-/// would be empty are dropped.
-fn split_once(members: &[usize], times: &[f64], k: usize) -> Vec<Vec<usize>> {
-    let values: Vec<f64> = members.iter().map(|&i| times[i]).collect();
+/// One k-way 1-D split. Uses the exact O(n) two-way split over the node's
+/// pre-sorted values for `k = 2` (the paper's setting) and the exact DP
+/// for larger `k`. Children that would be empty are dropped. `values[j]`
+/// is the time of `members[j]`; `sorted` is the same multiset ordered by
+/// `total_cmp`.
+fn split_once(members: &[usize], values: &[f64], sorted: &[f64], k: usize) -> Vec<Node> {
     if k == 2 {
-        let split = best_two_split(&values);
+        let split = best_two_split_sorted(sorted);
         if split.lower_count == 0 || split.lower_count == members.len() {
-            return vec![members.to_vec()];
+            return vec![Node {
+                members: members.to_vec(),
+                values: values.to_vec(),
+                sorted: sorted.to_vec(),
+            }];
         }
-        let mut lower = Vec::with_capacity(split.lower_count);
-        let mut upper = Vec::with_capacity(members.len() - split.lower_count);
-        for (&idx, &v) in members.iter().zip(&values) {
-            if v < split.threshold {
-                lower.push(idx);
-            } else {
-                upper.push(idx);
-            }
+        // The children's sorted arrays are contiguous subranges of the
+        // parent's. The boundary is located with the same `v < threshold`
+        // predicate the stream partition below uses — the midpoint
+        // threshold can round onto one of its neighbors, so the cut index
+        // itself is not authoritative for membership.
+        let boundary = sorted.partition_point(|&v| v < split.threshold);
+        let mut lower = Node {
+            members: Vec::with_capacity(boundary),
+            values: Vec::with_capacity(boundary),
+            sorted: sorted[..boundary].to_vec(),
+        };
+        let mut upper = Node {
+            members: Vec::with_capacity(members.len() - boundary),
+            values: Vec::with_capacity(members.len() - boundary),
+            sorted: sorted[boundary..].to_vec(),
+        };
+        for (&idx, &v) in members.iter().zip(values) {
+            let child = if v < split.threshold { &mut lower } else { &mut upper };
+            child.members.push(idx);
+            child.values.push(v);
         }
         vec![lower, upper]
     } else {
-        let (assignments, _) = kmeans_1d(&values, k);
+        // Ablation-only path (k > 2): keep the DP and re-sort each child.
+        let (assignments, _) = kmeans_1d(values, k);
         let num = assignments.iter().copied().max().unwrap_or(0) + 1;
-        let mut children = vec![Vec::new(); num];
-        for (&idx, &a) in members.iter().zip(&assignments) {
-            children[a].push(idx);
+        let mut children: Vec<Node> = (0..num)
+            .map(|_| Node {
+                members: Vec::new(),
+                values: Vec::new(),
+                sorted: Vec::new(),
+            })
+            .collect();
+        for ((&idx, &v), &a) in members.iter().zip(values).zip(&assignments) {
+            children[a].members.push(idx);
+            children[a].values.push(v);
         }
-        children.retain(|c| !c.is_empty());
+        children.retain(|c| !c.members.is_empty());
+        for c in &mut children {
+            c.sorted = c.values.clone();
+            c.sorted.sort_by(f64::total_cmp);
+        }
         children
     }
 }

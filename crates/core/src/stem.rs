@@ -12,8 +12,47 @@ use gpu_profile::{DataQualityReport, ExecTimeProfiler, TraceRecord, TraceValidat
 use gpu_sim::WeightedSample;
 use gpu_workload::Workload;
 use crate::rng::{RngExt, SeedableRng, StdRng};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use stem_par::Parallelism;
 use stem_stats::kkt::{per_cluster_sample_sizes, solve_sample_sizes};
+
+/// Upper bound on memoized clusterings held at once; reaching it clears
+/// the memo (campaigns visit workloads unit-major, so rep reuse survives
+/// any eviction policy — the bound only caps memory).
+const CLUSTER_MEMO_CAPACITY: usize = 8;
+
+/// Memoized profile → ROOT clustering, keyed by workload content
+/// fingerprint. The profile (fixed `profile_seed`) and the clustering are
+/// independent of the per-rep sampling seed, so every repetition of a
+/// workload reuses one deterministic computation; cached artifacts are
+/// bit-identical to recomputation, leaving plans unchanged. Per-key
+/// `OnceLock`s let concurrent repetitions of *different* workloads compute
+/// in parallel while duplicates of the same workload block on one compute.
+#[derive(Debug, Default)]
+struct ClusterMemo {
+    entries: Mutex<HashMap<u64, Arc<OnceLock<Arc<Vec<KernelCluster>>>>>>,
+}
+
+impl ClusterMemo {
+    fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Vec<KernelCluster>,
+    ) -> Arc<Vec<KernelCluster>> {
+        let cell = {
+            let mut map = match self.entries.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if map.len() >= CLUSTER_MEMO_CAPACITY && !map.contains_key(&key) {
+                map.clear();
+            }
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+    }
+}
 
 /// How sample sizes are assigned across clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,12 +65,14 @@ pub enum Sizing {
 }
 
 /// The paper's sampler. See the crate-level example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StemRootSampler {
     config: StemConfig,
     profiler: ExecTimeProfiler,
     sizing: Sizing,
     enable_root: bool,
+    /// Fingerprint-keyed profile+clustering memo (see [`ClusterMemo`]).
+    memo: ClusterMemo,
     /// Thread budget for profiling and ROOT clustering. Defaults to
     /// serial: the evaluation pipeline already parallelizes across
     /// repetitions, so nested parallelism would only oversubscribe;
@@ -54,6 +95,7 @@ impl StemRootSampler {
             profiler,
             sizing: Sizing::JointKkt,
             enable_root: true,
+            memo: ClusterMemo::default(),
             parallelism: Parallelism::serial(),
         }
     }
@@ -82,6 +124,8 @@ impl StemRootSampler {
     /// (ablation isolating ROOT's contribution).
     pub fn without_root(mut self) -> Self {
         self.enable_root = false;
+        // Clusterings memoized with ROOT enabled are stale now.
+        self.memo = ClusterMemo::default();
         self
     }
 
@@ -93,8 +137,20 @@ impl StemRootSampler {
     /// Runs ROOT only, returning the leaf clusters (for diagnostics and
     /// figures).
     pub fn clusters(&self, workload: &Workload) -> Vec<KernelCluster> {
-        let times = self.profiler.profile_par(workload, self.parallelism);
-        self.cluster_times(workload, &times)
+        self.cached_clusters(workload).as_ref().clone()
+    }
+
+    /// Profile + clustering through the memo. Both stages depend only on
+    /// the workload content and the sampler's own (profile seed, config,
+    /// `enable_root`) state — never on the per-rep seed — so repetitions
+    /// share one computation. External-times planners bypass this
+    /// deliberately: caller-supplied profiles are not keyed by the
+    /// workload fingerprint.
+    fn cached_clusters(&self, workload: &Workload) -> Arc<Vec<KernelCluster>> {
+        self.memo.get_or_compute(workload.fingerprint(), || {
+            let times = self.profiler.profile_par(workload, self.parallelism);
+            self.cluster_times(workload, &times)
+        })
     }
 
     /// Builds a plan from an *externally supplied* execution-time profile
@@ -234,6 +290,22 @@ impl StemRootSampler {
     }
 }
 
+/// The memo is an identity-free performance artifact; a clone starts
+/// cold so builder-style reconfiguration of the copy can never observe
+/// clusterings computed under the original's settings.
+impl Clone for StemRootSampler {
+    fn clone(&self) -> Self {
+        StemRootSampler {
+            config: self.config.clone(),
+            profiler: self.profiler.clone(),
+            sizing: self.sizing,
+            enable_root: self.enable_root,
+            memo: ClusterMemo::default(),
+            parallelism: self.parallelism,
+        }
+    }
+}
+
 impl KernelSampler for StemRootSampler {
     fn name(&self) -> &'static str {
         "STEM"
@@ -244,16 +316,12 @@ impl KernelSampler for StemRootSampler {
             workload.num_invocations() > 0,
             "cannot sample an empty workload"
         );
-        let times = self.profiler.profile_par(workload, self.parallelism);
-        self.plan_inner(workload, &times, rep_seed)
+        let clusters = self.cached_clusters(workload);
+        self.plan_from_clusters(workload, &clusters, rep_seed, 0.0)
     }
 }
 
 impl StemRootSampler {
-    fn plan_inner(&self, workload: &Workload, times: &[f64], rep_seed: u64) -> SamplingPlan {
-        self.plan_inner_degraded(workload, times, rep_seed, 0.0)
-    }
-
     fn plan_inner_degraded(
         &self,
         workload: &Workload,
@@ -262,6 +330,19 @@ impl StemRootSampler {
         degraded_fraction: f64,
     ) -> SamplingPlan {
         let clusters = self.cluster_times(workload, times);
+        self.plan_from_clusters(workload, &clusters, rep_seed, degraded_fraction)
+    }
+
+    /// Sizing + selection from an already-built clustering. Only this
+    /// stage consumes `rep_seed`, which is what makes the clustering
+    /// memoizable across repetitions.
+    fn plan_from_clusters(
+        &self,
+        workload: &Workload,
+        clusters: &[KernelCluster],
+        rep_seed: u64,
+        degraded_fraction: f64,
+    ) -> SamplingPlan {
         let measured: Vec<_> = clusters.iter().map(|c| c.stat).collect();
         // Sizing runs against the inflated statistics; the plan's cluster
         // summaries keep the measured ones (they describe the data, not
@@ -519,6 +600,26 @@ mod tests {
         let a2 = s.plan(w, 1);
         assert_eq!(a, a2);
         assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn memoized_plans_match_uncached_paths() {
+        let suite = casio_suite(11);
+        let w = suite.iter().find(|w| w.name() == "bert_infer").expect("bert");
+        let s = sampler();
+        let warm = s.plan(w, 7);
+        // Second call is served from the memo; a fresh sampler recomputes.
+        assert_eq!(warm, s.plan(w, 7));
+        assert_eq!(warm, sampler().plan(w, 7));
+        // The external-times planner (never cached) fed the same internal
+        // profile must agree bit-for-bit.
+        let cfg = StemConfig::paper();
+        let profiler = ExecTimeProfiler::new(cfg.profile_config.clone(), cfg.profile_seed);
+        let times = profiler.profile_par(w, Parallelism::serial());
+        assert_eq!(warm, s.plan_from_times(w, &times, 7).expect("plan"));
+        // Reconfiguring a clone must not observe the warm memo.
+        let flat = s.clone().without_root();
+        assert_eq!(flat.clusters(w).len(), w.kernels().len());
     }
 
     #[test]

@@ -254,6 +254,33 @@ where
     acc
 }
 
+/// Two-phase grouped map: first maps `group_fn` over `0..num_groups` (the
+/// expensive shared precomputation), then maps `item_fn(i, &groups[..])`
+/// over `0..len` — both phases on the pool, both index-ordered.
+///
+/// This is the "group-precompute + stream" shape of the hot-path overhaul:
+/// per-invocation simulation computes one `DeterministicTiming`-style core
+/// per distinct `(kernel, context, work)` group and then streams a cheap
+/// per-item transform. Determinism is inherited from [`par_map_range`]:
+/// both phases merge by input index, so the result is bit-identical at
+/// every thread count.
+pub fn par_map_grouped<G, U, FG, FI>(
+    par: Parallelism,
+    num_groups: usize,
+    group_fn: FG,
+    len: usize,
+    item_fn: FI,
+) -> Vec<U>
+where
+    G: Send + Sync,
+    U: Send,
+    FG: Fn(usize) -> G + Sync,
+    FI: Fn(usize, &[G]) -> U + Sync,
+{
+    let groups = par_map_range(par, num_groups, group_fn);
+    par_map_range(par, len, |i| item_fn(i, &groups))
+}
+
 pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
     let target_chunks = threads * CHUNKS_PER_WORKER;
     ((len + target_chunks - 1) / target_chunks).max(1)
@@ -322,6 +349,47 @@ mod tests {
             );
             assert_eq!(got.to_bits(), serial.to_bits(), "threads = {t}");
         }
+    }
+
+    #[test]
+    fn grouped_map_matches_serial_at_any_thread_count() {
+        // 5 groups, 1000 items; item i belongs to group i % 5.
+        let serial: Vec<f64> = (0..1000)
+            .map(|i| {
+                let g = (i % 5) as f64 * 10.0;
+                g + i as f64 * 0.25
+            })
+            .collect();
+        for t in [1, 2, 4, 16] {
+            let got = par_map_grouped(
+                Parallelism::with_threads(t),
+                5,
+                |g| g as f64 * 10.0,
+                1000,
+                |i, groups: &[f64]| groups[i % 5] + i as f64 * 0.25,
+            );
+            assert_eq!(got, serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn grouped_map_handles_empty_groups_and_items() {
+        let out = par_map_grouped(
+            Parallelism::with_threads(4),
+            0,
+            |g| g,
+            3,
+            |i, groups: &[usize]| i + groups.len(),
+        );
+        assert_eq!(out, vec![0, 1, 2]);
+        let none = par_map_grouped(
+            Parallelism::with_threads(4),
+            2,
+            |g| g,
+            0,
+            |i, _groups: &[usize]| i,
+        );
+        assert!(none.is_empty());
     }
 
     #[test]

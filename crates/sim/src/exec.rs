@@ -76,6 +76,78 @@ pub struct KernelTiming {
     pub warmup_cycles: f64,
 }
 
+/// The memoizable half of the timing model: everything that depends only on
+/// `(kernel, context, work scale, config, options)` — both rails, occupancy,
+/// hit rates, the deterministic cycle total, and the jitter CoV. The only
+/// per-invocation input left out is the lognormal noise draw, applied by
+/// [`DeterministicTiming::apply_jitter`].
+///
+/// Workloads repeat the same `(kernel, context, work scale)` triple across
+/// thousands-to-millions of invocations (see `Workload::num_invocation_groups`),
+/// so computing this once per group and streaming the jitter turns full
+/// simulation into "group-precompute + one `exp` per invocation".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicTiming {
+    /// Compute-rail cycles.
+    pub compute_cycles: f64,
+    /// Memory-rail cycles.
+    pub memory_cycles: f64,
+    /// Deterministic total (launch + max + overlap tax), before jitter.
+    pub deterministic_cycles: f64,
+    /// Memory-boundedness `beta = mem / (mem + compute)` in `[0, 1]`.
+    pub memory_boundedness: f64,
+    /// Occupancy analysis.
+    pub occupancy: Occupancy,
+    /// L1 hit rate.
+    pub l1_hit: f64,
+    /// L2 hit rate (reads).
+    pub l2_hit: f64,
+    /// Bytes that reached DRAM.
+    pub dram_bytes: f64,
+    /// Bytes of global-memory demand issued to L1.
+    pub access_bytes: f64,
+    /// Warp execution efficiency (active-lane fraction).
+    pub warp_efficiency: f64,
+    /// Effective jitter CoV for invocations of this group.
+    pub jitter_sigma: f64,
+    /// Extra warmup-simulation cycles (0 unless `SimOptions::warmup_kernels`).
+    pub warmup_cycles: f64,
+}
+
+impl DeterministicTiming {
+    /// Total cycles with the lognormal jitter for noise draw `z` applied —
+    /// bit-identical to the `cycles` field [`time_kernel`] computes, because
+    /// the floating-point expression is the same.
+    #[inline]
+    pub fn jittered_cycles(&self, noise_z: f64) -> f64 {
+        let jitter_sigma = self.jitter_sigma;
+        let z = noise_z;
+        let jitter = (jitter_sigma * z - jitter_sigma * jitter_sigma / 2.0).exp();
+        self.deterministic_cycles * jitter
+    }
+
+    /// Expands into the full per-invocation [`KernelTiming`] for noise draw
+    /// `z`. `time_kernel(..) == deterministic_timing(..).apply_jitter(z)`
+    /// bitwise.
+    pub fn apply_jitter(&self, noise_z: f64) -> KernelTiming {
+        KernelTiming {
+            compute_cycles: self.compute_cycles,
+            memory_cycles: self.memory_cycles,
+            deterministic_cycles: self.deterministic_cycles,
+            cycles: self.jittered_cycles(noise_z),
+            memory_boundedness: self.memory_boundedness,
+            occupancy: self.occupancy,
+            l1_hit: self.l1_hit,
+            l2_hit: self.l2_hit,
+            dram_bytes: self.dram_bytes,
+            access_bytes: self.access_bytes,
+            warp_efficiency: self.warp_efficiency,
+            jitter_sigma: self.jitter_sigma,
+            warmup_cycles: self.warmup_cycles,
+        }
+    }
+}
+
 /// Times one invocation of `workload` on `config`.
 ///
 /// Pure function of its arguments: the invocation's stored `noise_z` is the
@@ -99,6 +171,18 @@ pub fn time_invocation(
     )
 }
 
+/// The deterministic core of one invocation's timing (no jitter applied).
+pub fn deterministic_of_invocation(
+    workload: &Workload,
+    inv: &Invocation,
+    config: &GpuConfig,
+    options: SimOptions,
+) -> DeterministicTiming {
+    let kernel = workload.kernel_of(inv);
+    let ctx = workload.context_of(inv);
+    deterministic_timing(kernel, ctx, inv.work_scale as f64, config, options)
+}
+
 /// Times one kernel launch directly from its components — the primitive
 /// behind [`time_invocation`], also used by the multi-GPU execution-trace
 /// simulator where launches are DAG nodes rather than stream entries.
@@ -110,6 +194,18 @@ pub fn time_kernel(
     config: &GpuConfig,
     options: SimOptions,
 ) -> KernelTiming {
+    deterministic_timing(kernel, ctx, extra_work, config, options).apply_jitter(noise_z)
+}
+
+/// The deterministic core of [`time_kernel`]: both rails, caches, occupancy
+/// and the jitter CoV — everything except the per-invocation noise draw.
+pub fn deterministic_timing(
+    kernel: &gpu_workload::KernelClass,
+    ctx: &gpu_workload::RuntimeContext,
+    extra_work: f64,
+    config: &GpuConfig,
+    options: SimOptions,
+) -> DeterministicTiming {
     let work = ctx.work_scale * extra_work;
 
     let occ = occupancy(kernel, config);
@@ -173,19 +269,16 @@ pub fn time_kernel(
         0.0
     };
 
-    // --- Jitter -----------------------------------------------------------
+    // --- Jitter CoV -------------------------------------------------------
     // Memory-bound kernels fluctuate more (DRAM contention, row-buffer
-    // state); compute-bound ones are stable. Lognormal with unit mean.
+    // state); compute-bound ones are stable. Lognormal with unit mean —
+    // the draw itself is applied per invocation by `apply_jitter`.
     let jitter_sigma = ctx.jitter_cov * (0.4 + 1.2 * memory_boundedness);
-    let z = noise_z;
-    let jitter = (jitter_sigma * z - jitter_sigma * jitter_sigma / 2.0).exp();
-    let cycles = deterministic_cycles * jitter;
 
-    KernelTiming {
+    DeterministicTiming {
         compute_cycles,
         memory_cycles,
         deterministic_cycles,
-        cycles,
         memory_boundedness,
         occupancy: occ,
         l1_hit,

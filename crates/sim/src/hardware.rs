@@ -61,19 +61,56 @@ impl HardwareRunner {
 
     /// Measures every invocation — the execution-time profile STEM consumes
     /// (an Nsight-Systems-style trace).
+    ///
+    /// Grouped fast path: the simulator's deterministic core runs once per
+    /// invocation group, then each measurement applies the invocation's
+    /// jitter and its own `(seed, index)` noise — bit-identical to calling
+    /// [`HardwareRunner::measure_one`] per index, because the per-index
+    /// floating-point expression is unchanged.
     pub fn measure_all(&self, workload: &Workload) -> Vec<f64> {
-        (0..workload.num_invocations())
-            .map(|i| self.measure_one(workload, i))
-            .collect()
+        self.measure_all_par(workload, stem_par::Parallelism::serial())
     }
 
     /// [`HardwareRunner::measure_all`] spread across `par` threads.
     /// Measurement noise is a pure function of `(seed, index)`, so the
     /// result is bit-identical to the serial profile at any thread count.
     pub fn measure_all_par(&self, workload: &Workload, par: stem_par::Parallelism) -> Vec<f64> {
-        stem_par::par_map_range(par, workload.num_invocations(), |i| {
-            self.measure_one(workload, i)
-        })
+        let invocations = workload.invocations();
+        stem_par::par_map_grouped(
+            par,
+            workload.num_invocation_groups(),
+            |g| {
+                let rep = &invocations[workload.group_representative(g as u32)];
+                crate::exec::deterministic_of_invocation(
+                    workload,
+                    rep,
+                    self.sim.config(),
+                    self.sim.options(),
+                )
+            },
+            invocations.len(),
+            |i, groups: &[crate::exec::DeterministicTiming]| {
+                let true_cycles = groups[workload.group_of(i) as usize]
+                    .jittered_cycles(invocations[i].noise_z as f64);
+                let z = noise_z(self.seed, i as u64);
+                let s = self.measurement_noise;
+                true_cycles * (s * z - s * s / 2.0).exp()
+            },
+        )
+    }
+}
+
+/// The pre-overhaul per-invocation profiling loop, kept as the executable
+/// specification for `tests/hotpath_equivalence.rs`.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Per-invocation [`HardwareRunner::measure_all`].
+    pub fn measure_all(hw: &HardwareRunner, workload: &Workload) -> Vec<f64> {
+        (0..workload.num_invocations())
+            .map(|i| hw.measure_one(workload, i))
+            .collect()
     }
 }
 

@@ -47,7 +47,7 @@ pub mod waves;
 
 pub use config::{DseTransform, GpuConfig};
 pub use energy::EnergyModel;
-pub use exec::KernelTiming;
+pub use exec::{DeterministicTiming, KernelTiming, SimOptions};
 pub use hardware::HardwareRunner;
 pub use memo::SimCache;
 pub use multi_gpu::{simulate_trace, ClusterConfig, TraceRun};

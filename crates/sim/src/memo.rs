@@ -1,18 +1,24 @@
-//! Sharded memoisation of per-invocation timings.
+//! Sharded memoisation of deterministic timing cores.
 //!
 //! Sampling plans revisit the same `(kernel signature, runtime context,
-//! µarch config)` triple many times — across repetitions, across warm
-//! re-runs, and across clusters that share a kernel. [`SimCache`] memoises
-//! [`KernelTiming`] results behind a sharded mutex map so parallel workers
-//! rarely contend, and [`Simulator::run_sampled_cached`] is the cached,
-//! optionally parallel twin of [`Simulator::run_sampled`].
+//! work scale, µarch config)` group many times — across repetitions, across
+//! warm re-runs, and across clusters that share a kernel. [`SimCache`]
+//! memoises [`DeterministicTiming`] cores (the jitter-free half of the
+//! model) behind a sharded mutex map so parallel workers rarely contend,
+//! and [`Simulator::run_sampled_cached`] is the cached, optionally parallel
+//! twin of [`Simulator::run_sampled`].
 //!
-//! The cache is *output-invisible*: `time_invocation` is a pure function,
-//! so a hit returns exactly the bits a recomputation would produce, and the
-//! weighted-sum reduction still folds in sample order. Hit/miss counters
-//! are informational only. Keys are 128-bit structural fingerprints over
-//! the full µarch config, the sim options, the workload's kernel and
-//! context tables, and the invocation's own fields, so two different
+//! Since the hot-path overhaul the cache keys the *group*, not the
+//! invocation: fingerprints are computed once per group per run (not once
+//! per sample), the per-invocation noise draw never enters the key, and a
+//! hit saves the whole analytic model, leaving one `exp` per sample.
+//!
+//! The cache is *output-invisible*: `deterministic_timing` is a pure
+//! function, so a hit returns exactly the bits a recomputation would
+//! produce, and the weighted-sum reduction still folds in sample order.
+//! Hit/miss counters are informational only. Keys are 128-bit structural
+//! fingerprints over the full µarch config, the sim options, the workload's
+//! kernel and context tables, and the group's own fields, so two different
 //! configurations (or workloads) can never alias a cache line — the
 //! cache-poisoning guard tests below pin this.
 
@@ -20,7 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::exec::KernelTiming;
+use crate::exec::{deterministic_of_invocation, DeterministicTiming};
 use crate::sampled::{SampledRun, WeightedSample};
 use crate::simulator::Simulator;
 use gpu_workload::Workload;
@@ -29,11 +35,11 @@ use stem_par::Parallelism;
 /// Shard count; a power of two so `key & (SHARDS - 1)` selects a shard.
 const SHARDS: usize = 16;
 
-/// A sharded, thread-safe memo table from invocation fingerprints to
-/// [`KernelTiming`] results.
+/// A sharded, thread-safe memo table from group fingerprints to
+/// [`DeterministicTiming`] cores.
 #[derive(Debug)]
 pub struct SimCache {
-    shards: Vec<Mutex<HashMap<u128, KernelTiming>>>,
+    shards: Vec<Mutex<HashMap<u128, DeterministicTiming>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     poison_recoveries: AtomicU64,
@@ -92,11 +98,15 @@ impl SimCache {
         self.poison_recoveries.load(Ordering::Relaxed)
     }
 
-    /// Returns the memoised timing for `key`, computing and inserting it on
+    /// Returns the memoised core for `key`, computing and inserting it on
     /// a miss. `compute` runs outside the shard lock so a slow simulation
     /// never blocks other shard traffic; a racing duplicate insert is
     /// harmless because the computed value is a pure function of the key.
-    fn get_or_insert(&self, key: u128, compute: impl FnOnce() -> KernelTiming) -> KernelTiming {
+    fn get_or_insert(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> DeterministicTiming,
+    ) -> DeterministicTiming {
         let shard = (key as usize) & (SHARDS - 1);
         if let Some(&t) = self.lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -116,7 +126,10 @@ impl SimCache {
     /// clear the shard and let it rebuild — a rebuilt entry is
     /// bit-identical to the lost one, so recovery is output-invisible
     /// (only the hit rate and [`SimCache::poison_recoveries`] move).
-    fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, HashMap<u128, KernelTiming>> {
+    fn lock_shard(
+        &self,
+        shard: usize,
+    ) -> std::sync::MutexGuard<'_, HashMap<u128, DeterministicTiming>> {
         match self.shards[shard].lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -253,8 +266,13 @@ impl Simulator {
 
     /// [`Simulator::run_sampled`] with memoisation and optional
     /// parallelism. Bit-identical to the uncached serial run at every
-    /// thread count and cache temperature: timings are pure functions of
-    /// their fingerprint, and both accumulators fold in sample order.
+    /// thread count and cache temperature: cores are pure functions of
+    /// their fingerprint, the jitter expression matches the uncached path,
+    /// and both accumulators fold in sample order.
+    ///
+    /// Group fingerprints are computed once per run for the groups the
+    /// sample set touches — never per sample — and the per-invocation
+    /// noise draw stays out of the key, so warm reps hit once per group.
     ///
     /// # Panics
     ///
@@ -269,16 +287,36 @@ impl Simulator {
         assert!(!samples.is_empty(), "sampled simulation needs samples");
         let n = workload.num_invocations();
         let env = self.environment_fingerprint(workload);
-        let pairs = stem_par::par_map_indexed(par, samples, |_, s| {
+        // Which groups this sample set touches, and where each group's
+        // fetched core lands (`slot_of[g]` indexes into `cores`).
+        let num_groups = workload.num_invocation_groups();
+        let mut slot_of: Vec<u32> = vec![u32::MAX; num_groups];
+        let mut needed: Vec<u32> = Vec::new();
+        for s in samples {
             assert!(s.index < n, "sample index {} out of range", s.index);
-            let inv = &workload.invocations()[s.index];
+            let g = workload.group_of(s.index) as usize;
+            if slot_of[g] == u32::MAX {
+                slot_of[g] = needed.len() as u32;
+                needed.push(g as u32);
+            }
+        }
+        // One cache lookup (and at most one model evaluation) per group.
+        let cores: Vec<DeterministicTiming> = stem_par::par_map_indexed(par, &needed, |_, &g| {
+            let rep = &workload.invocations()[workload.group_representative(g)];
             let mut fp = env;
-            fp.word(inv.kernel.index() as u64);
-            fp.word(inv.context as u64);
-            fp.word(inv.work_scale.to_bits() as u64);
-            fp.word(inv.noise_z.to_bits() as u64);
-            let timing = cache.get_or_insert(fp.key(), || self.timing(workload, inv));
-            (s.weight * timing.cycles, timing.cycles + timing.warmup_cycles)
+            fp.word(rep.kernel.index() as u64);
+            fp.word(rep.context as u64);
+            fp.word(rep.work_scale.to_bits() as u64);
+            cache.get_or_insert(fp.key(), || {
+                deterministic_of_invocation(workload, rep, self.config(), self.options())
+            })
+        });
+        // Stream the jitter: one `exp` per sample, folded in sample order.
+        let pairs = stem_par::par_map_indexed(par, samples, |_, s| {
+            let inv = &workload.invocations()[s.index];
+            let det = &cores[slot_of[workload.group_of(s.index) as usize] as usize];
+            let cycles = det.jittered_cycles(inv.noise_z as f64);
+            (s.weight * cycles, cycles + det.warmup_cycles)
         });
         let mut estimated = 0.0;
         let mut simulated = 0.0;
@@ -332,12 +370,17 @@ mod tests {
         let cold = sim.run_sampled_cached(w, &samples, par, &cache);
         let misses_after_cold = cache.misses();
         assert!(misses_after_cold > 0, "cold run must populate the cache");
+        // One lookup per *group* per run, never per sample.
+        let touched_groups: std::collections::BTreeSet<u32> =
+            samples.iter().map(|s| w.group_of(s.index)).collect();
+        assert_eq!(misses_after_cold, touched_groups.len() as u64);
+        assert_eq!(cache.hits(), 0, "cold run must not hit");
         let warm = sim.run_sampled_cached(w, &samples, par, &cache);
         assert_eq!(warm, cold, "warm run must be bit-identical to cold");
-        assert!(
-            cache.hits() >= samples.len() as u64,
-            "warm run must hit for every sample: hits = {}",
-            cache.hits()
+        assert_eq!(
+            cache.hits(),
+            touched_groups.len() as u64,
+            "warm run must hit exactly once per touched group"
         );
         assert!(cache.hit_rate() > 0.0);
         // The warm run computed nothing new.

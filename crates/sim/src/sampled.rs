@@ -1,6 +1,7 @@
 //! Sampled simulation: simulate only selected invocations and extrapolate
 //! by weighted sum (Sec. 3.5).
 
+use crate::exec::{deterministic_of_invocation, DeterministicTiming};
 use crate::simulator::Simulator;
 use gpu_workload::Workload;
 
@@ -75,18 +76,31 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `samples` is empty or any index is out of range.
+    ///
+    /// Grouped fast path: the deterministic core is computed lazily once
+    /// per invocation group touched by the sample set; each sample then
+    /// costs one jitter `exp`. The accumulation order over `samples` is
+    /// unchanged, so the result is bit-identical to the per-invocation
+    /// reference ([`crate::simulator::reference::run_sampled`]).
     pub fn run_sampled(&self, workload: &Workload, samples: &[WeightedSample]) -> SampledRun {
         assert!(!samples.is_empty(), "sampled simulation needs samples");
         let n = workload.num_invocations();
+        let mut groups: Vec<Option<DeterministicTiming>> =
+            vec![None; workload.num_invocation_groups()];
         let mut estimated = 0.0;
         let mut simulated = 0.0;
         for s in samples {
             assert!(s.index < n, "sample index {} out of range", s.index);
-            let timing = self.timing(workload, &workload.invocations()[s.index]);
-            estimated += s.weight * timing.cycles;
+            let inv = &workload.invocations()[s.index];
+            let g = workload.group_of(s.index) as usize;
+            let det = groups[g].get_or_insert_with(|| {
+                deterministic_of_invocation(workload, inv, self.config(), self.options())
+            });
+            let cycles = det.jittered_cycles(inv.noise_z as f64);
+            estimated += s.weight * cycles;
             // Warmup passes (SimOptions::warmup_kernels) cost simulation
             // time but are excluded from the measured kernel time.
-            simulated += timing.cycles + timing.warmup_cycles;
+            simulated += cycles + det.warmup_cycles;
         }
         SampledRun {
             estimated_total_cycles: estimated,

@@ -1,7 +1,16 @@
 //! Full-workload simulation: ground truth for every experiment.
+//!
+//! Since the hot-path overhaul, full runs are "group-precompute + stream
+//! jitter": the deterministic timing core is computed once per distinct
+//! `(kernel, context, work_scale)` group ([`Workload::num_invocation_groups`])
+//! and each invocation then costs one `exp`. The pre-split per-invocation
+//! code is kept in [`reference`] and pinned bit-identical by
+//! `tests/hotpath_equivalence.rs`.
 
 use crate::config::GpuConfig;
-use crate::exec::{time_invocation, KernelTiming, SimOptions};
+use crate::exec::{
+    deterministic_of_invocation, time_invocation, DeterministicTiming, KernelTiming, SimOptions,
+};
 use gpu_workload::{Invocation, Workload};
 
 /// A kernel-level GPU simulator bound to one configuration.
@@ -87,14 +96,114 @@ impl Simulator {
         self.timing(workload, inv).cycles
     }
 
+    /// Deterministic timing core of every invocation group, in group order
+    /// (one full model evaluation per distinct `(kernel, context,
+    /// work_scale)` triple).
+    pub fn group_timings(&self, workload: &Workload) -> Vec<DeterministicTiming> {
+        self.group_timings_par(workload, stem_par::Parallelism::serial())
+    }
+
+    /// [`Simulator::group_timings`] spread across `par` threads; groups are
+    /// independent, so the result is identical at any thread count.
+    pub fn group_timings_par(
+        &self,
+        workload: &Workload,
+        par: stem_par::Parallelism,
+    ) -> Vec<DeterministicTiming> {
+        stem_par::par_map_range(par, workload.num_invocation_groups(), |g| {
+            let rep = &workload.invocations()[workload.group_representative(g as u32)];
+            deterministic_of_invocation(workload, rep, &self.config, self.options)
+        })
+    }
+
     /// Simulates every invocation (the "full simulation" the paper treats
     /// as prohibitively expensive on real infrastructure — cheap here, which
     /// is what lets us measure true sampling error).
+    ///
+    /// Internally grouped: the deterministic core runs once per invocation
+    /// group, then each invocation applies its own jitter draw — bit-identical
+    /// to the per-invocation reference path because the floating-point
+    /// expressions are unchanged, only de-duplicated.
     pub fn run_full(&self, workload: &Workload) -> FullRun {
+        self.run_full_par(workload, stem_par::Parallelism::serial())
+    }
+
+    /// [`Simulator::run_full`] with the group precompute and the
+    /// per-invocation jitter map spread across `par` threads.
+    /// Per-invocation order and the left-to-right total-cycles sum are
+    /// preserved, so the result is bit-identical to the serial run at every
+    /// thread count.
+    pub fn run_full_par(&self, workload: &Workload, par: stem_par::Parallelism) -> FullRun {
+        let invocations = workload.invocations();
+        let per_invocation = stem_par::par_map_grouped(
+            par,
+            workload.num_invocation_groups(),
+            |g| {
+                let rep = &invocations[workload.group_representative(g as u32)];
+                deterministic_of_invocation(workload, rep, &self.config, self.options)
+            },
+            invocations.len(),
+            |i, groups: &[DeterministicTiming]| {
+                groups[workload.group_of(i) as usize].jittered_cycles(invocations[i].noise_z as f64)
+            },
+        );
+        let total_cycles = per_invocation.iter().sum();
+        FullRun {
+            total_cycles,
+            per_invocation,
+        }
+    }
+
+    /// Ground-truth total cycles without materializing the per-invocation
+    /// vector: group precompute (optionally parallel), then a serial
+    /// left-to-right streaming fold over the jittered cycles — bit-identical
+    /// to `run_full(..).total_cycles`, with O(groups) instead of
+    /// O(invocations) memory. Campaign aggregation uses this.
+    pub fn run_full_total(&self, workload: &Workload, par: stem_par::Parallelism) -> f64 {
+        let groups = self.group_timings_par(workload, par);
+        let mut total = 0.0;
+        for (i, inv) in workload.invocations().iter().enumerate() {
+            total += groups[workload.group_of(i) as usize].jittered_cycles(inv.noise_z as f64);
+        }
+        total
+    }
+
+    /// Simulates only the invocations at `indices`, returning their cycle
+    /// counts in the same order. Deterministic cores are computed lazily,
+    /// once per group touched.
+    pub fn run_subset(&self, workload: &Workload, indices: &[usize]) -> Vec<f64> {
+        let mut groups: Vec<Option<DeterministicTiming>> =
+            vec![None; workload.num_invocation_groups()];
+        indices
+            .iter()
+            .map(|&i| {
+                let inv = &workload.invocations()[i];
+                let g = workload.group_of(i) as usize;
+                let det = groups[g].get_or_insert_with(|| {
+                    deterministic_of_invocation(workload, inv, &self.config, self.options)
+                });
+                det.jittered_cycles(inv.noise_z as f64)
+            })
+            .collect()
+    }
+}
+
+/// The pre-overhaul per-invocation slow paths, kept as the executable
+/// specification the grouped fast paths are pinned against (the workspace
+/// integration suite `tests/hotpath_equivalence.rs` asserts bitwise
+/// equality; dependency-crate `#[cfg(test)]` items are invisible to
+/// workspace-level tests, hence `#[doc(hidden)] pub`).
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Per-invocation [`Simulator::run_full`]: runs the full analytic model
+    /// for every invocation.
+    pub fn run_full(sim: &Simulator, workload: &Workload) -> FullRun {
         let per_invocation: Vec<f64> = workload
             .invocations()
             .iter()
-            .map(|inv| self.cycles(workload, inv))
+            .map(|inv| sim.cycles(workload, inv))
             .collect();
         let total_cycles = per_invocation.iter().sum();
         FullRun {
@@ -103,14 +212,15 @@ impl Simulator {
         }
     }
 
-    /// [`Simulator::run_full`] with the per-invocation timing map spread
-    /// across `par` threads. Per-invocation order and the left-to-right
-    /// total-cycles sum are preserved, so the result is bit-identical to the
-    /// serial run at every thread count.
-    pub fn run_full_par(&self, workload: &Workload, par: stem_par::Parallelism) -> FullRun {
+    /// Per-invocation [`Simulator::run_full_par`].
+    pub fn run_full_par(
+        sim: &Simulator,
+        workload: &Workload,
+        par: stem_par::Parallelism,
+    ) -> FullRun {
         let invocations = workload.invocations();
         let per_invocation =
-            stem_par::par_map_indexed(par, invocations, |_, inv| self.cycles(workload, inv));
+            stem_par::par_map_indexed(par, invocations, |_, inv| sim.cycles(workload, inv));
         let total_cycles = per_invocation.iter().sum();
         FullRun {
             total_cycles,
@@ -118,14 +228,36 @@ impl Simulator {
         }
     }
 
-    /// Simulates only the invocations at `indices`, returning their cycle
-    /// counts in the same order.
-    pub fn run_subset(&self, workload: &Workload, indices: &[usize]) -> Vec<f64> {
+    /// Per-invocation `Simulator::run_sampled`: full model per sample.
+    pub fn run_sampled(
+        sim: &Simulator,
+        workload: &Workload,
+        samples: &[crate::sampled::WeightedSample],
+    ) -> crate::sampled::SampledRun {
+        assert!(!samples.is_empty(), "sampled simulation needs samples");
+        let n = workload.num_invocations();
+        let mut estimated = 0.0;
+        let mut simulated = 0.0;
+        for s in samples {
+            assert!(s.index < n, "sample index {} out of range", s.index);
+            let timing = sim.timing(workload, &workload.invocations()[s.index]);
+            estimated += s.weight * timing.cycles;
+            simulated += timing.cycles + timing.warmup_cycles;
+        }
+        crate::sampled::SampledRun {
+            estimated_total_cycles: estimated,
+            simulated_cycles: simulated,
+            num_samples: samples.len(),
+        }
+    }
+
+    /// Per-invocation [`Simulator::run_subset`].
+    pub fn run_subset(sim: &Simulator, workload: &Workload, indices: &[usize]) -> Vec<f64> {
         indices
             .iter()
             .map(|&i| {
                 let inv = &workload.invocations()[i];
-                self.cycles(workload, inv)
+                sim.cycles(workload, inv)
             })
             .collect()
     }

@@ -14,6 +14,12 @@
 //!   parses or validates *external* data (profiler CSVs, workload text
 //!   documents, raw traces). Malformed input there must surface as a typed
 //!   error, so the whole `panic!`/`assert!` family is banned.
+//! * **hot inner-loop files** — the per-invocation simulation loop and the
+//!   k-means assignment loop (`sim/src/{simulator,sampled,hardware,memo,
+//!   exec}.rs`, `cluster/src/{kmeans,matrix,distance}.rs`): `Vec`
+//!   collection/allocation there is *advisory* (rule `no-hot-alloc`) —
+//!   every surviving allocation needs an allowlist justification placing it
+//!   at setup time, outside the per-item loop.
 //! * **everywhere** — all `.rs` files outside `#[cfg(test)]`/`#[test]`
 //!   regions, including benches and examples.
 
@@ -26,18 +32,20 @@ pub const NO_UNWRAP: &str = "no-unwrap";
 pub const NO_FLOAT_EQ: &str = "no-float-eq";
 pub const NO_PANIC: &str = "no-panic";
 pub const NO_INGEST_PANIC: &str = "no-ingest-panic";
+pub const NO_HOT_ALLOC: &str = "no-hot-alloc";
 pub const LINT_HEADERS: &str = "lint-headers";
 pub const NO_DEBUG_PRINT: &str = "no-debug-print";
 pub const HYGIENE: &str = "hygiene";
 
 /// Every rule name, in reporting order.
-pub const ALL_RULES: [&str; 9] = [
+pub const ALL_RULES: [&str; 10] = [
     HERMETIC_DEPS,
     NO_ENTROPY_RNG,
     NO_UNWRAP,
     NO_FLOAT_EQ,
     NO_PANIC,
     NO_INGEST_PANIC,
+    NO_HOT_ALLOC,
     LINT_HEADERS,
     NO_DEBUG_PRINT,
     HYGIENE,
@@ -68,6 +76,23 @@ const HOT_SRC_PREFIXES: [&str; 5] = [
 /// Ingestion paths: library code that parses or validates external data
 /// (the whole `panic!`/`assert!` family is banned, asserts included).
 const INGEST_SRC_PREFIXES: [&str; 2] = ["crates/profile/src/", "crates/workload/src/io.rs"];
+
+/// The hot inner-loop files: the per-invocation simulation loop and the
+/// k-means assignment loop. `Vec` collection here is advisory (rule
+/// `no-hot-alloc`): the grouped deterministic-core split and the flat
+/// bounds-pruned k-means exist precisely to keep allocation out of the
+/// per-item loops, so any allocation that stays must carry an allowlist
+/// justification placing it at setup time.
+const HOT_ALLOC_SRC_FILES: [&str; 8] = [
+    "crates/sim/src/simulator.rs",
+    "crates/sim/src/sampled.rs",
+    "crates/sim/src/hardware.rs",
+    "crates/sim/src/memo.rs",
+    "crates/sim/src/exec.rs",
+    "crates/cluster/src/kmeans.rs",
+    "crates/cluster/src/matrix.rs",
+    "crates/cluster/src/distance.rs",
+];
 
 /// Files longer than this are flagged by the hygiene rule.
 pub const MAX_FILE_LINES: usize = 1500;
@@ -103,12 +128,17 @@ fn in_ingest_src(path: &str) -> bool {
     INGEST_SRC_PREFIXES.iter().any(|p| path.starts_with(p))
 }
 
+fn in_hot_alloc_src(path: &str) -> bool {
+    HOT_ALLOC_SRC_FILES.contains(&path)
+}
+
 /// Scan one `.rs` file (already lexed) against every source rule.
 pub fn check_rust_file(path: &str, lines: &[Line]) -> Vec<Violation> {
     let mut out = Vec::new();
     let lib = in_lib_src(path);
     let hot = in_hot_src(path);
     let ingest = in_ingest_src(path);
+    let hot_alloc = in_hot_alloc_src(path);
 
     for (idx, line) in lines.iter().enumerate() {
         let n = idx + 1;
@@ -165,6 +195,26 @@ pub fn check_rust_file(path: &str, lines: &[Line]) -> Vec<Violation> {
                             n,
                             NO_PANIC,
                             format!("`{pat}..)` on the simulation hot path; bubble an error instead"),
+                        ));
+                    }
+                }
+            }
+
+            if hot_alloc {
+                for pat in [
+                    "vec![",
+                    "Vec::new(",
+                    "Vec::with_capacity(",
+                    ".to_vec()",
+                    ".collect()",
+                    ".collect::<",
+                ] {
+                    if code.contains(pat) {
+                        out.push(Violation::new(
+                            path,
+                            n,
+                            NO_HOT_ALLOC,
+                            format!("`{pat}..` allocates in a hot inner-loop file; hoist it to setup or allowlist with a justification placing it outside the per-item loop"),
                         ));
                     }
                 }
@@ -415,6 +465,33 @@ mod tests {
         let v = check(
             "crates/profile/src/a.rs",
             "#[cfg(test)]\nmod tests {\n fn t() { assert_eq!(1, 1); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hot_alloc_advisory_on_inner_loop_files_only() {
+        // Fires on the named hot inner-loop files, once per pattern hit.
+        let v = check(
+            "crates/cluster/src/kmeans.rs",
+            "let xs = vec![0.0; k];\nlet ys: Vec<f64> = it.collect();\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == NO_HOT_ALLOC));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+        let v = check("crates/sim/src/memo.rs", "let t = s.to_vec();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_HOT_ALLOC);
+        let v = check("crates/sim/src/simulator.rs", "let g: Vec<u32> = i.collect::<Vec<u32>>();\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Advisory scope is per-file, not per-crate: the rest of the hot
+        // crates (and tests anywhere) allocate freely.
+        assert!(check("crates/core/src/root.rs", "let xs = vec![0.0; k];\n").is_empty());
+        assert!(check("crates/sim/src/multi_gpu.rs", "let xs = Vec::new();\n").is_empty());
+        let v = check(
+            "crates/cluster/src/kmeans.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { let xs = vec![1]; }\n}\n",
         );
         assert!(v.is_empty(), "{v:?}");
     }

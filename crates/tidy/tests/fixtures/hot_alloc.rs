@@ -1,0 +1,10 @@
+//! Fixture: `Vec` allocation inside a hot inner-loop file (advisory).
+
+pub fn gather(xs: &[f64]) -> usize {
+    let mut out = Vec::new();
+    for &x in xs {
+        let row = vec![x; 4];
+        out.push(row.len());
+    }
+    out.len()
+}

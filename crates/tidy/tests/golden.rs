@@ -28,8 +28,9 @@ fn build_tree(tag: &str, files: &[(&str, &str)]) -> PathBuf {
     root
 }
 
-const TREE: [(&str, &str); 10] = [
+const TREE: [(&str, &str); 11] = [
     ("crates/core/src/entropy.rs", "entropy.rs"),
+    ("crates/sim/src/sampled.rs", "hot_alloc.rs"),
     ("crates/core/src/unwrap.rs", "unwrap.rs"),
     ("crates/sim/src/float_eq.rs", "float_eq.rs"),
     ("crates/stats/src/panic.rs", "panic.rs"),
@@ -67,6 +68,8 @@ fn fixtures_produce_exactly_the_golden_diagnostics() {
         ("crates/profile/src/ingest_panic.rs".into(), 4, "no-ingest-panic"),
         ("crates/profile/src/ingest_panic.rs".into(), 6, "no-ingest-panic"),
         ("crates/sim/src/float_eq.rs".into(), 4, "no-float-eq"),
+        ("crates/sim/src/sampled.rs".into(), 4, "no-hot-alloc"),
+        ("crates/sim/src/sampled.rs".into(), 6, "no-hot-alloc"),
         ("crates/stats/src/panic.rs".into(), 3, "no-panic"),
         ("crates/stats/src/panic.rs".into(), 7, "no-panic"),
         ("crates/workload/src/lib.rs".into(), 0, "lint-headers"),

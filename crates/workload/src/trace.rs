@@ -42,6 +42,69 @@ pub struct Workload {
     /// `contexts[k]` are the runtime contexts of kernel `k`.
     contexts: Vec<Vec<RuntimeContext>>,
     invocations: Vec<Invocation>,
+    /// `group_of[i]` is the timing group of invocation `i`: invocations
+    /// sharing `(kernel, context, work_scale)` are timing-identical up to
+    /// their noise draw, so simulators precompute per group and stream the
+    /// per-invocation jitter. Derived deterministically from `invocations`
+    /// (first occurrence assigns the next id, so ids follow stream order).
+    group_of: Vec<u32>,
+    /// `group_representatives[g]` is the lowest invocation index in group `g`.
+    group_representatives: Vec<usize>,
+    /// FNV-1a 64 over the full workload content (name, suite, kernel and
+    /// context tables, invocation stream), computed once at construction.
+    /// Lets downstream caches key derived artifacts (profiles, clusterings)
+    /// by workload identity without rehashing the stream per lookup.
+    fingerprint: u64,
+}
+
+/// FNV-1a 64 content hash of a workload's defining tables. Kernel and
+/// context tables go through their `Debug` form (f64 `Debug` is the
+/// shortest round-trip representation, so distinct values hash
+/// distinctly); the invocation stream hashes its raw fields, with
+/// `work_scale` by bit pattern.
+fn content_fingerprint(
+    name: &str,
+    suite: SuiteKind,
+    kernels: &[KernelClass],
+    contexts: &[Vec<RuntimeContext>],
+    invocations: &[Invocation],
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    eat(name.as_bytes());
+    eat(format!("{suite:?}{kernels:?}{contexts:?}").as_bytes());
+    for inv in invocations {
+        eat(&inv.kernel.0.to_le_bytes());
+        eat(&inv.context.to_le_bytes());
+        eat(&inv.work_scale.to_bits().to_le_bytes());
+        eat(&inv.noise_z.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Assigns every invocation its timing group: first occurrence of a
+/// `(kernel, context, work_scale-bits)` triple mints the next group id.
+fn timing_groups(invocations: &[Invocation]) -> (Vec<u32>, Vec<usize>) {
+    use std::collections::HashMap;
+    let mut ids: HashMap<(u32, u16, u32), u32> = HashMap::new();
+    let mut group_of = Vec::with_capacity(invocations.len());
+    let mut representatives = Vec::new();
+    for (i, inv) in invocations.iter().enumerate() {
+        let key = (inv.kernel.0, inv.context, inv.work_scale.to_bits());
+        let next = representatives.len() as u32;
+        let g = *ids.entry(key).or_insert(next);
+        if g == next && representatives.len() == g as usize {
+            representatives.push(i);
+        }
+        group_of.push(g);
+    }
+    (group_of, representatives)
 }
 
 impl Workload {
@@ -109,12 +172,17 @@ impl Workload {
                 ));
             }
         }
+        let (group_of, group_representatives) = timing_groups(&invocations);
+        let fingerprint = content_fingerprint(&name, suite, &kernels, &contexts, &invocations);
         Ok(Workload {
             name,
             suite,
             kernels,
             contexts,
             invocations,
+            group_of,
+            group_representatives,
+            fingerprint,
         })
     }
 
@@ -170,6 +238,14 @@ impl Workload {
         self.invocations.len()
     }
 
+    /// FNV-1a 64 content fingerprint (name, suite, kernel/context tables,
+    /// invocation stream), computed once at construction. Two workloads
+    /// with equal fingerprints are — up to hash collision — the same
+    /// workload; caches of derived artifacts key on this.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// The kernel class of an invocation.
     pub fn kernel_of(&self, inv: &Invocation) -> &KernelClass {
         &self.kernels[inv.kernel.index()]
@@ -178,6 +254,33 @@ impl Workload {
     /// The runtime context of an invocation.
     pub fn context_of(&self, inv: &Invocation) -> &RuntimeContext {
         &self.contexts[inv.kernel.index()][inv.context as usize]
+    }
+
+    /// Number of timing groups: distinct `(kernel, context, work_scale)`
+    /// triples in the invocation stream. All invocations in a group share
+    /// the same deterministic timing; only their jitter draws differ.
+    pub fn num_invocation_groups(&self) -> usize {
+        self.group_representatives.len()
+    }
+
+    /// Timing group of invocation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> u32 {
+        self.group_of[i]
+    }
+
+    /// Lowest invocation index belonging to group `g` (its representative:
+    /// timing-deterministic fields of any group member match it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_representative(&self, g: u32) -> usize {
+        self.group_representatives[g as usize]
     }
 
     /// Invocation indices grouped by kernel id, in stream order — the
@@ -254,6 +357,70 @@ mod tests {
         let inv = &w.invocations()[1];
         assert_eq!(w.kernel_of(inv).name, "b");
         assert_eq!(w.context_of(inv).work_scale, 2.0);
+    }
+
+    #[test]
+    fn timing_groups_follow_stream_order() {
+        let w = tiny();
+        // Invocations 0 and 2 share (kernel 0, ctx 0, work 1.0); 1 differs.
+        assert_eq!(w.num_invocation_groups(), 2);
+        assert_eq!(w.group_of(0), 0);
+        assert_eq!(w.group_of(1), 1);
+        assert_eq!(w.group_of(2), 0);
+        assert_eq!(w.group_representative(0), 0);
+        assert_eq!(w.group_representative(1), 1);
+    }
+
+    #[test]
+    fn distinct_work_scales_split_groups() {
+        let k0 = KernelClassBuilder::new("a").build();
+        let w = Workload::new(
+            "w",
+            SuiteKind::Custom,
+            vec![k0],
+            vec![vec![RuntimeContext::neutral()]],
+            vec![
+                Invocation::with_work(KernelId(0), 0, 1.0, 0.1),
+                Invocation::with_work(KernelId(0), 0, 2.0, 0.2),
+                Invocation::with_work(KernelId(0), 0, 1.0, 0.3),
+            ],
+        );
+        assert_eq!(w.num_invocation_groups(), 2);
+        assert_eq!(w.group_of(0), 0);
+        assert_eq!(w.group_of(1), 1);
+        assert_eq!(w.group_of(2), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same hash");
+        // Any defining field flips the hash: name, stream, noise draw.
+        let renamed = Workload::new(
+            "w2",
+            a.suite(),
+            a.kernels().to_vec(),
+            vec![
+                a.contexts_of(KernelId(0)).to_vec(),
+                a.contexts_of(KernelId(1)).to_vec(),
+            ],
+            a.invocations().to_vec(),
+        );
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let mut invs = a.invocations().to_vec();
+        invs[0].noise_z = 0.5;
+        let jittered = Workload::new(
+            a.name().to_string(),
+            a.suite(),
+            a.kernels().to_vec(),
+            vec![
+                a.contexts_of(KernelId(0)).to_vec(),
+                a.contexts_of(KernelId(1)).to_vec(),
+            ],
+            invs,
+        );
+        assert_ne!(a.fingerprint(), jittered.fingerprint());
     }
 
     #[test]
