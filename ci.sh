@@ -16,7 +16,15 @@ cargo test -q --offline --test hotpath_equivalence
 # Threads=1 vs threads=4 smoke check: asserts bit-identical results only;
 # the printed speedup is informational (never a gate).
 cargo test -q --offline -p stem-bench --test scaling_smoke -- --nocapture
-cargo run -p stem-tidy --release --offline
+# The tidy pass publishes its one-line JSON summary (violation, warning
+# and per-rule counts) as a committed artifact so rule-count drift shows
+# up as a diff in review, not just as CI exit status.
+cargo run -p stem-tidy --release --offline -- --summary-out crates/bench/results/tidy_summary.json
+if ! git diff --quiet -- crates/bench/results/tidy_summary.json 2>/dev/null; then
+  echo "crates/bench/results/tidy_summary.json drifted from the committed summary:" >&2
+  git --no-pager diff -- crates/bench/results/tidy_summary.json >&2
+  exit 1
+fi
 # Hot-path perf baseline: informational only, never a gate (CI machines
 # are too noisy for wall-clock thresholds). Reference numbers live in
 # EXPERIMENTS.md; regenerate the committed baseline with

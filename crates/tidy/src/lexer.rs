@@ -56,6 +56,21 @@ pub fn analyze(source: &str) -> Vec<Line> {
                         state = State::BlockComment(1);
                         i += 1;
                     }
+                    // Raw identifier `r#name`: consume it whole so the
+                    // ident body is never re-examined as a literal prefix
+                    // (`r#r#""` is ident `r`, `#`, empty string — not a
+                    // raw string opened mid-token).
+                    'r' if next == Some('#')
+                        && chars.get(i + 2).is_some_and(|&c2| is_ident_continue(c2))
+                        && (i == 0 || !is_ident_continue(chars[i - 1])) =>
+                    {
+                        let mut j = i + 2;
+                        while j < chars.len() && is_ident_continue(chars[j]) {
+                            line.code.push(chars[j]);
+                            j += 1;
+                        }
+                        i = j - 1; // loop increment lands past the ident
+                    }
                     'r' | 'b' if is_raw_string_start(&chars, i) => {
                         let (hashes, skip) = raw_string_open(&chars, i);
                         state = State::RawStr(hashes);
@@ -133,7 +148,17 @@ fn char_byte(s: &str, char_idx: usize) -> usize {
 
 /// `r"`, `r#"`, `br"`, `b"` is NOT raw (plain byte string handled as Str via
 /// its quote) — only forms with `r` count here.
+///
+/// The prefix must not itself be the tail of a longer identifier: in
+/// `xr#""` the `r` belongs to the ident `xr` and the line is ident / `#` /
+/// empty string, while in `rr"\""` the escaped quote belongs to a *normal*
+/// string. Treating either as a raw-string open leaves the per-line state
+/// machine stuck in `RawStr` (or out of it) across line boundaries,
+/// silently swallowing — or fabricating — code on every following line.
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_continue(chars[i - 1]) {
+        return false; // mid-identifier `r`/`b`, not a literal prefix
+    }
     let rest = &chars[i..];
     match rest {
         ['r', '"', ..] => true,
@@ -142,6 +167,10 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
         ['b', 'r', '#', ..] => raw_hash_run(&rest[2..]).is_some(),
         _ => false,
     }
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
 }
 
 /// Count `#` run followed by `"`. Returns hash count if well-formed.
@@ -241,6 +270,50 @@ mod tests {
         assert!(!lines[0].code.contains("panic!"));
         assert!(lines[0].code.contains("let c ="));
         assert!(lines[0].code.contains("static")); // lifetime survives as code
+    }
+
+    #[test]
+    fn ident_tail_r_is_not_a_raw_string_open() {
+        // `xr` is an identifier; `#` and `""` follow it. The old lexer took
+        // the trailing `r` as a raw-string prefix, entered `RawStr(1)` and
+        // swallowed every later line until a stray `"#` — a multi-line
+        // desync that silently blinded all per-line rules downstream.
+        let src = "let a = xr #\"\";\nx.unwrap();\n";
+        let lines = analyze(src);
+        assert!(lines[1].code.contains("unwrap"), "line after ident-tail r lost: {lines:?}");
+
+        // Adjacent form (no space) — ident `xr`, then `#`, then a string.
+        let src = "m!(xr#\"\");\nx.unwrap();\n";
+        let lines = analyze(src);
+        assert!(lines[1].code.contains("unwrap"), "{lines:?}");
+    }
+
+    #[test]
+    fn ident_tail_r_before_quote_keeps_escape_semantics() {
+        // `rr"\""` is ident `rr` + a *normal* string containing an escaped
+        // quote; the string stays open past the line end. The old lexer
+        // read it as a raw string, closed at the `\"`, and then treated the
+        // real string body on following lines as code.
+        let src = "let a = rr\"\\\"\nnot_code();\n\";\nreal();\n";
+        let lines = analyze(src);
+        assert!(!lines[1].code.contains("not_code"), "string body leaked as code: {lines:?}");
+        assert!(lines[3].code.contains("real"), "{lines:?}");
+    }
+
+    #[test]
+    fn ident_tail_br_is_not_a_byte_raw_open() {
+        let src = "let a = xbr #\"\";\nx.unwrap();\n";
+        let lines = analyze(src);
+        assert!(lines[1].code.contains("unwrap"), "{lines:?}");
+    }
+
+    #[test]
+    fn real_raw_strings_still_recognised_after_fix() {
+        let src = "let s = r#\"panic!()\"#;\nlet b = br##\"unwrap()\"##;\nok();\n";
+        let lines = analyze(src);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("ok"));
     }
 
     #[test]

@@ -19,15 +19,19 @@
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod semantic;
+pub mod tokens;
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use allowlist::Allowlist;
-pub use rules::Violation;
+pub use rules::{Severity, Violation};
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
@@ -37,14 +41,17 @@ const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
 pub struct Report {
     /// Files examined (`.rs` + `Cargo.toml`).
     pub files_scanned: usize,
-    /// Violations that survived the allowlist.
+    /// Deny-severity violations that survived the allowlist.
     pub violations: Vec<Violation>,
-    /// Violations excused by the allowlist.
+    /// Warn-severity findings that survived the allowlist: printed and
+    /// counted, never a CI failure.
+    pub warnings: Vec<Violation>,
+    /// Findings (of either severity) excused by the allowlist.
     pub allowed: usize,
 }
 
 impl Report {
-    /// True when the tree is clean.
+    /// True when the tree is clean. Warnings never dirty a tree.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
@@ -57,11 +64,21 @@ impl Report {
             .collect()
     }
 
+    /// Render each warning as `path:line: warning [rule] message`.
+    pub fn warning_diagnostics(&self) -> Vec<String> {
+        self.warnings
+            .iter()
+            .map(|v| format!("{}:{}: warning [{}] {}", v.path, v.line, v.rule, v.message))
+            .collect()
+    }
+
     /// One-line machine-readable JSON summary, e.g.
-    /// `{"files_scanned":163,"violations":2,"allowed":5,"rules":{"no-unwrap":2}}`.
+    /// `{"files_scanned":163,"violations":0,"warnings":2,"allowed":5,`
+    /// `"severity":{"deny":0,"warn":2},"rules":{"no-hot-alloc":2}}`.
+    /// `rules` counts surviving findings of both severities.
     pub fn summary_json(&self) -> String {
         let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
-        for v in &self.violations {
+        for v in self.violations.iter().chain(&self.warnings) {
             *per_rule.entry(v.rule).or_default() += 1;
         }
         let rules: Vec<String> = per_rule
@@ -69,18 +86,30 @@ impl Report {
             .map(|(rule, count)| format!("\"{rule}\":{count}"))
             .collect();
         format!(
-            "{{\"files_scanned\":{},\"violations\":{},\"allowed\":{},\"rules\":{{{}}}}}",
+            "{{\"files_scanned\":{},\"violations\":{},\"warnings\":{},\"allowed\":{},\"severity\":{{\"deny\":{},\"warn\":{}}},\"rules\":{{{}}}}}",
             self.files_scanned,
             self.violations.len(),
+            self.warnings.len(),
             self.allowed,
+            self.violations.len(),
+            self.warnings.len(),
             rules.join(",")
         )
+    }
+
+    fn push(&mut self, v: Violation) {
+        match rules::severity(v.rule) {
+            Severity::Deny => self.violations.push(v),
+            Severity::Warn => self.warnings.push(v),
+        }
     }
 }
 
 /// Scan the workspace at `root` with `allowlist`, returning every
 /// diagnostic. IO errors on individual files become violations (rule
-/// `hygiene`) rather than aborting the pass.
+/// `hygiene`) rather than aborting the pass. Runs two phases: the
+/// per-line/manifest rules file by file, then the call-graph semantic
+/// rules over the library-source files as one unit.
 pub fn scan(root: &Path, allowlist: &Allowlist) -> Report {
     let mut files = Vec::new();
     collect_files(root, root, &mut files);
@@ -88,6 +117,24 @@ pub fn scan(root: &Path, allowlist: &Allowlist) -> Report {
 
     let mut report = Report::default();
     let mut scanned_paths: Vec<String> = Vec::new();
+    // How many hits each allowlist entry (rule, path) actually excused.
+    let mut excused: BTreeMap<(String, String), usize> = BTreeMap::new();
+    // Library-source texts for the semantic pass.
+    let mut lib_sources: Vec<(String, String)> = Vec::new();
+
+    let take = |report: &mut Report,
+                    excused: &mut BTreeMap<(String, String), usize>,
+                    found: Vec<Violation>| {
+        for v in found {
+            if allowlist.allows(v.rule, &v.path) {
+                report.allowed += 1;
+                *excused.entry((v.rule.to_string(), v.path.clone())).or_default() += 1;
+            } else {
+                report.push(v);
+            }
+        }
+    };
+
     for rel in &files {
         let abs = root.join(rel);
         let rel_str = rel.to_string_lossy().replace('\\', "/");
@@ -105,26 +152,39 @@ pub fn scan(root: &Path, allowlist: &Allowlist) -> Report {
         let found = if rel_str.ends_with("Cargo.toml") {
             rules::check_manifest(&rel_str, &text)
         } else {
-            rules::check_rust_file(&rel_str, &lexer::analyze(&text))
-        };
-        for v in found {
-            if allowlist.allows(v.rule, &v.path) {
-                report.allowed += 1;
-            } else {
-                report.violations.push(v);
+            let found = rules::check_rust_file(&rel_str, &lexer::analyze(&text));
+            if rules::in_lib_src(&rel_str) {
+                lib_sources.push((rel_str.clone(), text));
             }
-        }
+            found
+        };
+        take(&mut report, &mut excused, found);
     }
 
+    // Phase two: build the workspace call graph and run the semantic rules.
+    let graph = callgraph::CallGraph::build(&lib_sources);
+    take(&mut report, &mut excused, semantic::check(&graph));
+
     // An allowlist entry that excuses nothing is rot: either the file was
-    // fixed (drop the entry) or renamed (update it).
+    // fixed (drop the entry), renamed (update it), or the entry names the
+    // wrong rule — an exemption justified for one rule must never sit
+    // around silently excusing a different rule's future hit.
     for (rule, path, _) in allowlist.entries() {
-        if !scanned_paths.iter().any(|p| p == path) {
+        let msg = if !scanned_paths.iter().any(|p| p == path) {
+            Some(format!("stale allowlist entry for rule `{rule}`: file not found in scan"))
+        } else if excused.get(&(rule.to_string(), path.to_string())).copied().unwrap_or(0) == 0 {
+            Some(format!(
+                "stale allowlist entry for rule `{rule}`: the file has no `{rule}` hit to excuse"
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = msg {
             report.violations.push(Violation {
                 path: path.to_string(),
                 line: 0,
                 rule: rules::HYGIENE,
-                message: format!("stale allowlist entry for rule `{rule}`: file not found in scan"),
+                message,
             });
         }
     }
@@ -149,6 +209,25 @@ fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
             }
         }
     }
+}
+
+/// Build the call graph over the workspace's library sources and render
+/// the deterministic text dump (`--dump-callgraph`, and the golden
+/// snapshot test).
+pub fn dump_workspace_callgraph(root: &Path) -> String {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files);
+    files.sort();
+    let mut lib_sources: Vec<(String, String)> = Vec::new();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rel_str.ends_with(".rs") && rules::in_lib_src(&rel_str) {
+            if let Ok(text) = fs::read_to_string(root.join(rel)) {
+                lib_sources.push((rel_str, text));
+            }
+        }
+    }
+    callgraph::CallGraph::build(&lib_sources).dump()
 }
 
 /// Load the allowlist that ships with the workspace being scanned, if any.
@@ -259,7 +338,73 @@ mod tests {
     fn summary_json_shape() {
         let r = scan_tree("json", &[("crates/core/src/bad.rs", "fn f() { x.unwrap(); }\n")], "");
         let json = r.summary_json();
-        assert!(json.starts_with("{\"files_scanned\":1,\"violations\":1,\"allowed\":0"), "{json}");
+        assert!(
+            json.starts_with(
+                "{\"files_scanned\":1,\"violations\":1,\"warnings\":0,\"allowed\":0,\"severity\":{\"deny\":1,\"warn\":0}"
+            ),
+            "{json}"
+        );
         assert!(json.contains("\"no-unwrap\":1"), "{json}");
+    }
+
+    #[test]
+    fn warn_severity_prints_but_never_fails() {
+        // `no-hot-alloc` is the advisory tier: hits surface as warnings,
+        // the tree still counts as clean, and the JSON carries them.
+        let r = scan_tree(
+            "warn",
+            &[("crates/sim/src/memo.rs", "fn f() { let v = s.to_vec(); }\n")],
+            "",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics());
+        assert_eq!(r.warnings.len(), 1);
+        assert_eq!(r.warnings[0].rule, rules::NO_HOT_ALLOC);
+        assert!(r.warning_diagnostics()[0].contains("warning [no-hot-alloc]"));
+        assert!(r.summary_json().contains("\"warnings\":1"), "{}", r.summary_json());
+        // Allowlisted warnings stay silent and keep the entry non-stale.
+        let r = scan_tree(
+            "warn-allow",
+            &[("crates/sim/src/memo.rs", "fn f() { let v = s.to_vec(); }\n")],
+            "[no-hot-alloc]\n\"crates/sim/src/memo.rs\" = \"setup-time copy\"\n",
+        );
+        assert!(r.is_clean() && r.warnings.is_empty(), "{:?}", r.warning_diagnostics());
+        assert_eq!(r.allowed, 1);
+    }
+
+    #[test]
+    fn per_rule_per_file_stale_entries_flagged() {
+        // The file exists and has a `no-unwrap` hit, but the entry names
+        // `no-panic`: it excuses nothing and must be reported stale.
+        let r = scan_tree(
+            "stale-rule",
+            &[("crates/core/src/bad.rs", "fn f() { x.unwrap(); }\n")],
+            "[no-panic]\n\"crates/core/src/bad.rs\" = \"wrong rule\"\n",
+        );
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.message.contains("no `no-panic` hit to excuse")),
+            "{:?}",
+            r.diagnostics()
+        );
+        // The unwrap itself still fires.
+        assert!(r.violations.iter().any(|v| v.rule == rules::NO_UNWRAP));
+    }
+
+    #[test]
+    fn semantic_rules_run_in_scan() {
+        let r = scan_tree(
+            "semantic",
+            &[(
+                "crates/sim/src/memo.rs",
+                "pub fn warm(c: &C) -> f64 { c.get_or_insert(1, || leaf()) }\nfn leaf() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }\n",
+            )],
+            "",
+        );
+        assert!(
+            r.violations.iter().any(|v| v.rule == rules::MEMO_PURITY),
+            "{:?}",
+            r.diagnostics()
+        );
     }
 }

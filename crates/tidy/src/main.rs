@@ -1,10 +1,16 @@
 //! `stem-tidy` CLI.
 //!
-//! Usage: `stem-tidy [ROOT] [--allowlist PATH]`
+//! Usage: `stem-tidy [ROOT] [--allowlist PATH] [--summary-out PATH]
+//! [--dump-callgraph]`
 //!
 //! ROOT defaults to the workspace root containing this crate (derived from
 //! `CARGO_MANIFEST_DIR` at compile time) so `cargo run -p stem-tidy` "just
-//! works" from anywhere inside the repo. Exit codes: 0 clean, 1 violations
+//! works" from anywhere inside the repo. Deny-severity findings print as
+//! `path:line: [rule] …` and fail the run; warn-severity findings print as
+//! `path:line: warning [rule] …` and never fail. `--summary-out` writes the
+//! one-line JSON summary to a file (CI commits it as a golden so rule-count
+//! drift shows up in diffs); `--dump-callgraph` prints the resolved
+//! workspace call graph and exits. Exit codes: 0 clean, 1 violations
 //! found, 2 usage / allowlist errors.
 
 // Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
@@ -18,6 +24,8 @@ use stem_tidy::{load_workspace_allowlist, scan, Allowlist};
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut summary_out: Option<PathBuf> = None;
+    let mut dump_callgraph = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,8 +37,18 @@ fn main() -> ExitCode {
                 };
                 allowlist_path = Some(PathBuf::from(p));
             }
+            "--summary-out" => {
+                let Some(p) = args.next() else {
+                    eprintln!("stem-tidy: --summary-out requires a path");
+                    return ExitCode::from(2);
+                };
+                summary_out = Some(PathBuf::from(p));
+            }
+            "--dump-callgraph" => dump_callgraph = true,
             "--help" | "-h" => {
-                println!("usage: stem-tidy [ROOT] [--allowlist PATH]");
+                println!(
+                    "usage: stem-tidy [ROOT] [--allowlist PATH] [--summary-out PATH] [--dump-callgraph]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -50,6 +68,11 @@ fn main() -> ExitCode {
             .canonicalize()
             .unwrap_or_else(|_| PathBuf::from("."))
     });
+
+    if dump_callgraph {
+        print!("{}", stem_tidy::dump_workspace_callgraph(&root));
+        return ExitCode::SUCCESS;
+    }
 
     let allowlist = match &allowlist_path {
         Some(p) => match std::fs::read_to_string(p) {
@@ -78,7 +101,17 @@ fn main() -> ExitCode {
     for diag in report.diagnostics() {
         println!("{diag}");
     }
-    println!("{}", report.summary_json());
+    for diag in report.warning_diagnostics() {
+        println!("{diag}");
+    }
+    let summary = report.summary_json();
+    if let Some(path) = &summary_out {
+        if let Err(e) = std::fs::write(path, format!("{summary}\n")) {
+            eprintln!("stem-tidy: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!("{summary}");
 
     if report.is_clean() {
         ExitCode::SUCCESS

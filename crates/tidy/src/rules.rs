@@ -36,9 +36,13 @@ pub const NO_HOT_ALLOC: &str = "no-hot-alloc";
 pub const LINT_HEADERS: &str = "lint-headers";
 pub const NO_DEBUG_PRINT: &str = "no-debug-print";
 pub const HYGIENE: &str = "hygiene";
+/// Semantic rules (call-graph pass, see `semantic`).
+pub const MEMO_PURITY: &str = "memo-purity";
+pub const RNG_STREAM: &str = "rng-stream-discipline";
+pub const ORDERED_FLOAT_REDUCE: &str = "ordered-float-reduce";
 
 /// Every rule name, in reporting order.
-pub const ALL_RULES: [&str; 10] = [
+pub const ALL_RULES: [&str; 13] = [
     HERMETIC_DEPS,
     NO_ENTROPY_RNG,
     NO_UNWRAP,
@@ -49,7 +53,31 @@ pub const ALL_RULES: [&str; 10] = [
     LINT_HEADERS,
     NO_DEBUG_PRINT,
     HYGIENE,
+    MEMO_PURITY,
+    RNG_STREAM,
+    ORDERED_FLOAT_REDUCE,
 ];
+
+/// How a rule's surviving (non-allowlisted) hits gate CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the scan (exit 1).
+    Deny,
+    /// Printed and counted, never fails. Allowlist entries still apply —
+    /// a justified warning stays silent and keeps its entry non-stale.
+    Warn,
+}
+
+/// Severity tier per rule. `no-hot-alloc` is the one advisory rule: Vec
+/// collection in the hot inner-loop files is worth a diff-time nudge, but
+/// hoisting is judgement, not a hard invariant.
+pub fn severity(rule: &str) -> Severity {
+    if rule == NO_HOT_ALLOC {
+        Severity::Warn
+    } else {
+        Severity::Deny
+    }
+}
 
 /// Crates whose `src/` is library source (see module docs).
 const LIB_SRC_PREFIXES: [&str; 9] = [
@@ -111,12 +139,13 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(path: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn new(path: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
         Self { path: path.to_string(), line, rule, message: message.into() }
     }
 }
 
-fn in_lib_src(path: &str) -> bool {
+/// Library-source scope; the semantic pass analyzes exactly these files.
+pub(crate) fn in_lib_src(path: &str) -> bool {
     LIB_SRC_PREFIXES.iter().any(|p| path.starts_with(p)) && !path.contains("src/bin/")
 }
 

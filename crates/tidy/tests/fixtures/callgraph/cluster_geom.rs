@@ -1,0 +1,8 @@
+// Fixture: submodule target of a `geom::area` cross-module call.
+pub fn area(r: f64) -> f64 {
+    r * r * pi_approx()
+}
+
+fn pi_approx() -> f64 {
+    3.14159
+}

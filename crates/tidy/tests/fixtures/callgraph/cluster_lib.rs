@@ -1,0 +1,17 @@
+// Fixture: cross-module and cross-crate call shapes for the call-graph
+// golden test. Placed at crates/cluster/src/lib.rs in the synthetic tree.
+mod geom;
+
+pub fn entry(r: f64) -> f64 {
+    let a = geom::area(r);
+    let b = helper(a);
+    stem_sim::blend(b)
+}
+
+fn helper(x: f64) -> f64 {
+    x + 1.0
+}
+
+pub fn poll(d: &dyn Refresh) {
+    d.refresh();
+}

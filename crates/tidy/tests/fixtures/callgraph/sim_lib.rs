@@ -1,0 +1,39 @@
+// Fixture: trait-dispatch fan-out, `Self::` resolution, and the target of
+// a cross-crate `stem_sim::blend` call. Placed at crates/sim/src/lib.rs.
+pub fn blend(x: f64) -> f64 {
+    x * 0.5
+}
+
+pub struct Disk;
+pub struct Cache;
+
+pub trait Refresh {
+    fn refresh(&self);
+}
+
+impl Refresh for Disk {
+    fn refresh(&self) {
+        spin();
+    }
+}
+
+impl Refresh for Cache {
+    fn refresh(&self) {
+        spin();
+        purge();
+    }
+}
+
+fn spin() {}
+
+fn purge() {}
+
+impl Cache {
+    pub fn warm(&self) -> f64 {
+        Self::rate()
+    }
+
+    fn rate() -> f64 {
+        0.9
+    }
+}

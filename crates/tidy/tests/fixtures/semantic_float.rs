@@ -1,0 +1,17 @@
+// Fixture: ordered-float-reduce — captured compound assignment in a task.
+pub fn total(xs: &[f64], p: Parallelism) -> f64 {
+    let mut acc = 0.0;
+    stem_par::par_map_indexed(p, xs, |i, x| {
+        acc += *x;
+        *x
+    });
+    acc
+}
+
+pub fn total_ok(xs: &[f64], p: Parallelism) -> Vec<f64> {
+    stem_par::par_map_indexed(p, xs, |i, x| {
+        let mut row = 0.0;
+        row += *x;
+        row
+    })
+}

@@ -1,0 +1,20 @@
+// Fixture: memo-purity — `stamp` is two calls below the memo insert path.
+pub fn warm(c: &Cache) -> f64 {
+    c.get_or_insert(1, || compute(1))
+}
+
+fn compute(k: u64) -> f64 {
+    stamp() as f64 * k as f64
+}
+
+fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub fn pure_warm(c: &Cache) -> f64 {
+    c.get_or_compute(2, || shade(2))
+}
+
+fn shade(k: u64) -> f64 {
+    (k as f64).sqrt()
+}

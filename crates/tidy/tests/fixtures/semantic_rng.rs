@@ -1,0 +1,14 @@
+// Fixture: rng-stream-discipline — ad-hoc seed arithmetic in a task closure.
+pub fn sweep(base: u64, n: usize, p: Parallelism) {
+    stem_par::par_map_range(p, n, |r| {
+        let rep_seed = base.wrapping_add(r as u64);
+        rep_seed
+    });
+}
+
+pub fn sweep_ok(base: u64, n: usize, p: Parallelism) {
+    stem_par::par_map_range(p, n, |r| {
+        let seed = stem_par::split_seed(base, r as u64);
+        seed
+    });
+}

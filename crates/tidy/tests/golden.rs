@@ -68,8 +68,6 @@ fn fixtures_produce_exactly_the_golden_diagnostics() {
         ("crates/profile/src/ingest_panic.rs".into(), 4, "no-ingest-panic"),
         ("crates/profile/src/ingest_panic.rs".into(), 6, "no-ingest-panic"),
         ("crates/sim/src/float_eq.rs".into(), 4, "no-float-eq"),
-        ("crates/sim/src/sampled.rs".into(), 4, "no-hot-alloc"),
-        ("crates/sim/src/sampled.rs".into(), 6, "no-hot-alloc"),
         ("crates/stats/src/panic.rs".into(), 3, "no-panic"),
         ("crates/stats/src/panic.rs".into(), 7, "no-panic"),
         ("crates/workload/src/lib.rs".into(), 0, "lint-headers"),
@@ -79,6 +77,24 @@ fn fixtures_produce_exactly_the_golden_diagnostics() {
 
     assert_eq!(got, want, "diagnostics:\n{}", report.diagnostics().join("\n"));
     assert_eq!(report.files_scanned, TREE.len());
+
+    // The hot-alloc hits are advisory: they surface as warnings, not
+    // violations, and never dirty the tree on their own.
+    let mut warns: Vec<(String, usize, &str)> = report
+        .warnings
+        .iter()
+        .map(|v| (v.path.clone(), v.line, v.rule))
+        .collect();
+    warns.sort();
+    assert_eq!(
+        warns,
+        vec![
+            ("crates/sim/src/sampled.rs".to_string(), 4, "no-hot-alloc"),
+            ("crates/sim/src/sampled.rs".to_string(), 6, "no-hot-alloc"),
+        ],
+        "warnings:\n{}",
+        report.warning_diagnostics().join("\n")
+    );
 }
 
 #[test]
