@@ -15,13 +15,14 @@
 //! results obey the workspace determinism contract, so two runs differ
 //! only in the wall-clock fields.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use gpu_workload::suites::HuggingfaceScale;
 use gpu_workload::{SuiteKind, Workload};
 use stem_bench::harness::ExperimentOptions;
 use stem_core::sampler::KernelSampler;
-use stem_core::{Pipeline, StemConfig, StemRootSampler};
+use stem_core::{Pipeline, SnapshotError, StemConfig, StemError, StemRootSampler};
 
 /// One timed section of one suite.
 struct Section {
@@ -47,7 +48,7 @@ struct SuiteReport {
     sections: Vec<Section>,
 }
 
-fn parse_args() -> (f64, u64, u32, String) {
+fn parse_args() -> Result<(f64, u64, u32, String), StemError> {
     let mut hf_scale = 0.05_f64;
     let mut seed = 2025_u64;
     let mut reps = 3_u32;
@@ -55,36 +56,43 @@ fn parse_args() -> (f64, u64, u32, String) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
-        let need = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
-                eprintln!("missing value after {}", args[i]);
-                std::process::exit(2);
+        let need = |i: usize| -> Result<&str, StemError> {
+            args.get(i + 1).map(String::as_str).ok_or_else(|| {
+                StemError::InvalidConfig(format!("missing value after {}", args[i]))
             })
         };
         match args[i].as_str() {
             "--hf-scale" => {
-                hf_scale = need(i).parse().expect("--hf-scale takes a float");
+                let raw = need(i)?;
+                hf_scale = raw.parse().map_err(|_| {
+                    StemError::InvalidConfig(format!("--hf-scale takes a float, got {raw:?}"))
+                })?;
                 i += 2;
             }
             "--seed" => {
-                seed = need(i).parse().expect("--seed takes a u64");
+                let raw = need(i)?;
+                seed = raw.parse().map_err(|_| {
+                    StemError::InvalidConfig(format!("--seed takes a u64, got {raw:?}"))
+                })?;
                 i += 2;
             }
             "--reps" => {
-                reps = need(i).parse().expect("--reps takes a u32");
+                let raw = need(i)?;
+                reps = raw.parse().map_err(|_| {
+                    StemError::InvalidConfig(format!("--reps takes a u32, got {raw:?}"))
+                })?;
                 i += 2;
             }
             "--out" => {
-                out = need(i).to_string();
+                out = need(i)?.to_string();
                 i += 2;
             }
             other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
+                return Err(StemError::InvalidConfig(format!("unknown option {other}")));
             }
         }
     }
-    (hf_scale, seed, reps, out)
+    Ok((hf_scale, seed, reps, out))
 }
 
 fn bench_suite(kind: SuiteKind, options: &ExperimentOptions, reps: u32) -> SuiteReport {
@@ -156,8 +164,8 @@ fn bench_suite(kind: SuiteKind, options: &ExperimentOptions, reps: u32) -> Suite
     }
 }
 
-fn main() {
-    let (hf_scale, seed, reps, out) = parse_args();
+fn run() -> Result<(), StemError> {
+    let (hf_scale, seed, reps, out) = parse_args()?;
     let mut options = ExperimentOptions::default_repro();
     options.seed = seed;
     options.hf_scale = HuggingfaceScale::custom(hf_scale);
@@ -219,9 +227,23 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out, &json).expect("write benchmark json");
+    std::fs::write(&out, &json)
+        .map_err(|e| StemError::Snapshot(SnapshotError::Io(format!("cannot write {out}: {e}"))))?;
     eprintln!(
         "perf: total {:.3} s -> {out}",
         total_ns as f64 / 1e9
     );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // All failures leave through the typed StemError display, so
+            // CLI and daemon error lines share one format.
+            eprintln!("perf: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

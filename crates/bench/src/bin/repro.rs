@@ -36,15 +36,32 @@
 //! CSVs are written to ./results (override with STEM_RESULTS_DIR).
 //! ```
 
+use std::process::ExitCode;
+
 use stem_bench::experiments::{
     ablations, accuracy, dse, extensions, limits, metrics, motivation, overhead,
 };
 use stem_bench::harness::ExperimentOptions;
+use stem_core::StemError;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // All failures leave through the typed StemError display, so
+            // CLI and daemon error lines share one format.
+            eprintln!("repro: {e}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), StemError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        print_usage_and_exit(0);
+        print_usage();
+        return Ok(());
     }
     let command = args[0].clone();
     let mut options = ExperimentOptions::default_repro();
@@ -55,18 +72,17 @@ fn main() {
                 options = ExperimentOptions::fast();
             }
             "--reps" => {
-                options.reps = parse_next(&args, &mut i, "reps");
+                options.reps = parse_next(&args, &mut i, "reps")?;
             }
             "--seed" => {
-                options.seed = parse_next(&args, &mut i, "seed");
+                options.seed = parse_next(&args, &mut i, "seed")?;
             }
             "--hf-scale" => {
-                let f: f64 = parse_next(&args, &mut i, "hf-scale");
+                let f: f64 = parse_next(&args, &mut i, "hf-scale")?;
                 options.hf_scale = gpu_workload::suites::HuggingfaceScale::custom(f);
             }
             other => {
-                eprintln!("unknown option: {other}");
-                print_usage_and_exit(2);
+                return Err(StemError::InvalidConfig(format!("unknown option: {other}")));
             }
         }
         i += 1;
@@ -160,10 +176,12 @@ fn main() {
         "ext-energy" => {
             extensions::ext_energy(&options);
         }
-        "help" | "--help" | "-h" => print_usage_and_exit(0),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            return Ok(());
+        }
         other => {
-            eprintln!("unknown command: {other}");
-            print_usage_and_exit(2);
+            return Err(StemError::InvalidConfig(format!("unknown command: {other}")));
         }
     }
     eprintln!(
@@ -171,23 +189,24 @@ fn main() {
         start.elapsed().as_secs_f64(),
         stem_bench::report::results_dir().display()
     );
+    Ok(())
 }
 
-fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> T {
+fn parse_next<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    name: &str,
+) -> Result<T, StemError> {
     *i += 1;
     args.get(*i)
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("--{name} requires a value");
-            print_usage_and_exit(2)
-        })
+        .ok_or_else(|| StemError::InvalidConfig(format!("--{name} requires a value")))
 }
 
-fn print_usage_and_exit(code: i32) -> ! {
+fn print_usage() {
     println!(
         "repro — regenerate the STEM+ROOT paper's tables and figures\n\n\
          usage: repro <all|table2|table3|table4|table5|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-kkt|ablation-root|ablation-flush|ablation-smallsample|ext-chakra|ext-intra|ext-tracegen|ext-energy>\n\
          \x20      [--reps N] [--seed S] [--hf-scale F] [--fast]"
     );
-    std::process::exit(code)
 }

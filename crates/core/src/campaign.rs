@@ -444,7 +444,14 @@ impl Pipeline {
         // bit-identical to `run_full().total_cycles`).
         let full_totals: Vec<OnceLock<f64>> =
             (0..workloads.len()).map(|_| OnceLock::new()).collect();
-        let cache = SimCache::new();
+        let local_cache;
+        let cache: &SimCache = match &self.shared_cache {
+            Some(shared) => shared,
+            None => {
+                local_cache = SimCache::new();
+                &local_cache
+            }
+        };
         let state = Mutex::new(done);
         let executed = AtomicU64::new(0);
         // Admission counter for the simulated kill: gating on *starts*
@@ -458,6 +465,14 @@ impl Pipeline {
             &missing,
             &self.supervisor,
             |ctx, &unit| -> Result<(), StemError> {
+                // Cooperative cancellation: gate unit admission exactly
+                // like the simulated kill below. Units already started run
+                // to completion and persist; the snapshot stays resumable.
+                if let Some(cancel) = &self.cancel {
+                    if ctx.attempt == 0 && cancel.load(Ordering::SeqCst) {
+                        return Err(StemError::Interrupted { completed_units: 0 });
+                    }
+                }
                 if let Some(faults) = &self.exec_faults {
                     if let Some(kill_after) = faults.kill_after_units() {
                         if ctx.attempt == 0
@@ -484,7 +499,7 @@ impl Pipeline {
                     workload,
                     plan.samples(),
                     Parallelism::serial(),
-                    &cache,
+                    cache,
                 );
                 let record = UnitRecord {
                     error_pct: run.error(full_total) * 100.0,

@@ -68,6 +68,17 @@ pub enum StemError {
         /// Units persisted in the snapshot at the moment of interruption.
         completed_units: u64,
     },
+    /// An admission-controlled service refused new work because a bounded
+    /// queue is full. Already-admitted jobs keep running; the caller should
+    /// wait `retry_after_ms` and resubmit.
+    Overloaded {
+        /// Which queue refused admission (e.g. `"server"` or a tenant id).
+        scope: String,
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+        /// Structured backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for StemError {
@@ -99,6 +110,11 @@ impl std::fmt::Display for StemError {
                 f,
                 "campaign interrupted after {completed_units} completed unit(s); \
                  resume from the snapshot to finish"
+            ),
+            StemError::Overloaded { scope, depth, retry_after_ms } => write!(
+                f,
+                "overloaded: {scope} queue full at depth {depth}; \
+                 retry after {retry_after_ms} ms"
             ),
         }
     }

@@ -10,6 +10,8 @@ use gpu_profile::validate::reconstructed_times;
 use gpu_profile::{DataQualityReport, ExecFaultPlan, TraceRecord, TraceValidator};
 use gpu_sim::{FullRun, SimCache, Simulator};
 use gpu_workload::Workload;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use stem_par::{Parallelism, Supervisor};
 
 /// Convenience driver binding a target simulator and experiment settings.
@@ -39,6 +41,8 @@ pub struct Pipeline {
     pub(crate) parallelism: Parallelism,
     pub(crate) supervisor: Supervisor,
     pub(crate) exec_faults: Option<ExecFaultPlan>,
+    pub(crate) shared_cache: Option<Arc<SimCache>>,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Pipeline {
@@ -56,6 +60,8 @@ impl Pipeline {
             parallelism: Parallelism::from_env(),
             supervisor: Supervisor::new(),
             exec_faults: None,
+            shared_cache: None,
+            cancel: None,
         }
     }
 
@@ -110,6 +116,26 @@ impl Pipeline {
     /// they replay identically at every thread count.
     pub fn with_exec_faults(mut self, faults: ExecFaultPlan) -> Self {
         self.exec_faults = Some(faults);
+        self
+    }
+
+    /// Shares a caller-owned memo cache across pipeline runs. Cache hits
+    /// return pure, bit-identical timing values, so sharing one cache
+    /// between campaigns (or tenants of a long-lived service) is sound:
+    /// results never depend on who warmed an entry. Without this, each
+    /// campaign run builds a private cold cache.
+    pub fn with_shared_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Installs a cooperative cancellation flag checked between campaign
+    /// units. When the flag is raised, no new `(workload, rep)` unit is
+    /// admitted and the campaign returns [`StemError::Interrupted`] with
+    /// the completed-unit count; the snapshot keeps everything finished so
+    /// far, and [`Pipeline::resume_from`] continues bit-identically.
+    pub fn with_cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -242,7 +268,14 @@ impl Pipeline {
         // retry recomputes the same bits — randomness is index-derived),
         // and any planning failure is reported for the *lowest failing
         // rep* — so success and error behavior match the serial loop.
-        let cache = SimCache::new();
+        let local_cache;
+        let cache: &SimCache = match &self.shared_cache {
+            Some(shared) => shared,
+            None => {
+                local_cache = SimCache::new();
+                &local_cache
+            }
+        };
         let (outcomes, _exec_log) = stem_par::supervised_map_range(
             self.parallelism,
             self.reps as usize,
@@ -260,7 +293,7 @@ impl Pipeline {
                     workload,
                     plan.samples(),
                     Parallelism::serial(),
-                    &cache,
+                    cache,
                 );
                 Ok(EvalResult {
                     method: plan.method().to_string(),

@@ -19,6 +19,13 @@
 //! process kill after N completed campaign units, and checkpoint-snapshot
 //! corruption — driving the supervised-execution and crash-resume recovery
 //! paths the same way [`FaultPlan`] drives trace repair.
+//!
+//! [`WireFaultPlan`] completes the set with **wire**-level faults for a
+//! line-framed protocol client (truncated frames, garbage lines,
+//! mid-response disconnects, slow-loris writers): it plans each exchange
+//! as a [`WireExchange`] data value and leaves the socket I/O to the test
+//! harness, so the chaos stays deterministic and this crate stays free of
+//! network code.
 
 use std::time::Duration;
 
@@ -512,6 +519,185 @@ impl ExecFaultPlan {
     }
 }
 
+/// One way a misbehaving client can damage a line-framed protocol
+/// exchange. The *wire*-level counterpart of [`Fault`] (data) and
+/// [`ExecFaultPlan`]'s runtime faults: a robust server must survive every
+/// one of these without corrupting other tenants' sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFault {
+    /// The request frame is cut off before its newline with probability
+    /// `fraction` (client died mid-write; the server must not block
+    /// forever waiting for the frame to finish).
+    TruncateFrame {
+        /// Per-exchange truncation probability.
+        fraction: f64,
+    },
+    /// The request is replaced by a seeded garbage line with probability
+    /// `fraction` (a confused client, or line noise; the server must
+    /// answer with a protocol error, not die).
+    GarbageLine {
+        /// Per-exchange corruption probability.
+        fraction: f64,
+    },
+    /// The client hangs up right after writing, before reading the
+    /// response, with probability `fraction` (the server's write fails
+    /// with a broken pipe it must absorb).
+    DisconnectMidResponse {
+        /// Per-exchange disconnect probability.
+        fraction: f64,
+    },
+    /// The client dribbles the request out byte-by-byte with `delay`
+    /// between writes, with probability `fraction` (a slow-loris writer;
+    /// bounded read timeouts must reclaim the connection).
+    SlowWriter {
+        /// Per-exchange slow-write probability.
+        fraction: f64,
+        /// Pause between written chunks.
+        delay: Duration,
+    },
+}
+
+impl WireFault {
+    /// Stable, human-readable name of the fault class (for reports/tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireFault::TruncateFrame { .. } => "truncate-frame",
+            WireFault::GarbageLine { .. } => "garbage-line",
+            WireFault::DisconnectMidResponse { .. } => "disconnect-mid-response",
+            WireFault::SlowWriter { .. } => "slow-writer",
+        }
+    }
+}
+
+/// How a chaos client should perform one protocol exchange: the (possibly
+/// damaged) bytes to write, how to pace them, and whether to hang up
+/// before reading the response. Produced by [`WireFaultPlan::exchange`];
+/// the test harness owns the actual socket I/O, keeping this crate free of
+/// network code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireExchange {
+    /// Bytes to write for this exchange (a clean exchange is the request
+    /// line plus `\n`).
+    pub payload: Vec<u8>,
+    /// When set, write one byte at a time with this pause between writes.
+    pub chunk_delay: Option<Duration>,
+    /// When true, close the connection right after writing, without
+    /// reading the response.
+    pub disconnect_after_write: bool,
+}
+
+/// A seeded, composable plan of wire-level faults for a line-framed
+/// protocol client — the chaos counterpart of [`FaultPlan`] for sockets.
+/// Decisions derive from `(plan seed, fault position, exchange index)`, so
+/// a chaos session replays exactly and editing one fault's parameters
+/// never perturbs another's draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFaultPlan {
+    seed: u64,
+    faults: Vec<WireFault>,
+}
+
+impl WireFaultPlan {
+    /// An empty plan (every exchange clean) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        WireFaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// A single-fault plan — the unit the serve chaos suite sweeps over.
+    pub fn single(seed: u64, fault: WireFault) -> Self {
+        WireFaultPlan { seed, faults: vec![fault] }
+    }
+
+    /// Appends a fault to the plan (builder style).
+    pub fn with(mut self, fault: WireFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[WireFault] {
+        &self.faults
+    }
+
+    /// One always-firing representative plan per wire fault class, in a
+    /// stable order — the sweep axis of the serve chaos tests.
+    pub fn all_classes(seed: u64) -> Vec<WireFaultPlan> {
+        [
+            WireFault::TruncateFrame { fraction: 1.0 },
+            WireFault::GarbageLine { fraction: 1.0 },
+            WireFault::DisconnectMidResponse { fraction: 1.0 },
+            WireFault::SlowWriter { fraction: 1.0, delay: Duration::from_millis(1) },
+        ]
+        .into_iter()
+        .map(|f| WireFaultPlan::single(seed, f))
+        .collect()
+    }
+
+    /// Plans the `index`-th exchange of `request` (one protocol line,
+    /// without its newline): starts from the clean framed request and
+    /// applies each fault in plan order. Deterministic in
+    /// `(seed, position, index)`.
+    pub fn exchange(&self, index: u64, request: &str) -> WireExchange {
+        let mut ex = WireExchange {
+            payload: format!("{request}\n").into_bytes(),
+            chunk_delay: None,
+            disconnect_after_write: false,
+        };
+        for (pos, fault) in self.faults.iter().enumerate() {
+            let mut rng = self.wire_rng(pos, index);
+            match *fault {
+                WireFault::TruncateFrame { fraction } => {
+                    if rng.random_bool(fraction) && !ex.payload.is_empty() {
+                        // Cut before the newline so the frame never ends.
+                        let keep = (ex.payload.len() - 1).div_ceil(2);
+                        ex.payload.truncate(keep);
+                        // A frameless client has nothing to read back.
+                        ex.disconnect_after_write = true;
+                    }
+                }
+                WireFault::GarbageLine { fraction } => {
+                    if rng.random_bool(fraction) {
+                        let len = rng.random_range(1..40usize);
+                        let mut junk = Vec::with_capacity(len + 1);
+                        for _ in 0..len {
+                            // Printable non-space ASCII that can never
+                            // spell a protocol keyword's first byte.
+                            junk.push(rng.random_range(0x21..0x41u64) as u8);
+                        }
+                        junk.push(b'\n');
+                        ex.payload = junk;
+                    }
+                }
+                WireFault::DisconnectMidResponse { fraction } => {
+                    if rng.random_bool(fraction) {
+                        ex.disconnect_after_write = true;
+                    }
+                }
+                WireFault::SlowWriter { fraction, delay } => {
+                    if rng.random_bool(fraction) {
+                        ex.chunk_delay = Some(delay);
+                    }
+                }
+            }
+        }
+        ex
+    }
+
+    /// Decorrelated per-exchange generator, keyed like
+    /// [`FaultPlan::fault_rng`] but additionally by the exchange index.
+    fn wire_rng(&self, position: usize, index: u64) -> StdRng {
+        let mix = (position as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index.wrapping_add(1).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        StdRng::seed_from_u64(self.seed ^ mix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +885,82 @@ mod tests {
             .with_snapshot_fault(SnapshotFault::StaleVersion)
             .corrupt_snapshot(snapshot);
         assert!(stale.starts_with("STEM-CAMPAIGN-SNAPSHOT v999\n"), "{stale}");
+    }
+
+    #[test]
+    fn wire_plans_are_deterministic_and_cover_every_class() {
+        let plans = WireFaultPlan::all_classes(0x31E);
+        assert_eq!(plans.len(), 4);
+        for plan in &plans {
+            for index in 0..20 {
+                let a = plan.exchange(index, "STATUS t1 0");
+                let b = plan.exchange(index, "STATUS t1 0");
+                assert_eq!(a, b, "{} not seeded", plan.faults()[0].label());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_truncate_cuts_frame_before_newline() {
+        let plan = WireFaultPlan::single(5, WireFault::TruncateFrame { fraction: 1.0 });
+        let ex = plan.exchange(0, "SUBMIT t1 rodinia 33 0 2 1");
+        assert!(!ex.payload.contains(&b'\n'), "frame must stay unterminated");
+        assert!(!ex.payload.is_empty());
+        assert!(ex.disconnect_after_write);
+    }
+
+    #[test]
+    fn wire_garbage_replaces_line_but_keeps_framing() {
+        let plan = WireFaultPlan::single(5, WireFault::GarbageLine { fraction: 1.0 });
+        let ex = plan.exchange(3, "STATUS t1 0");
+        assert_eq!(ex.payload.last(), Some(&b'\n'));
+        let line = &ex.payload[..ex.payload.len() - 1];
+        assert!(!line.is_empty());
+        assert!(line.iter().all(|&b| (0x21..0x41).contains(&b)), "{line:?}");
+        assert_ne!(ex.payload, b"STATUS t1 0\n");
+    }
+
+    #[test]
+    fn wire_disconnect_and_slow_writer_set_flags_only() {
+        let dis =
+            WireFaultPlan::single(5, WireFault::DisconnectMidResponse { fraction: 1.0 })
+                .exchange(0, "RESULT t1 0");
+        assert_eq!(dis.payload, b"RESULT t1 0\n");
+        assert!(dis.disconnect_after_write);
+        assert_eq!(dis.chunk_delay, None);
+        let slow = WireFaultPlan::single(
+            5,
+            WireFault::SlowWriter { fraction: 1.0, delay: Duration::from_millis(2) },
+        )
+        .exchange(0, "PING");
+        assert_eq!(slow.payload, b"PING\n");
+        assert_eq!(slow.chunk_delay, Some(Duration::from_millis(2)));
+        assert!(!slow.disconnect_after_write);
+    }
+
+    #[test]
+    fn wire_fractional_faults_hit_some_exchanges_and_seeds_differ() {
+        let plan = WireFaultPlan::single(9, WireFault::GarbageLine { fraction: 0.4 });
+        let hit: Vec<u64> = (0..100)
+            .filter(|&i| plan.exchange(i, "PING").payload != b"PING\n")
+            .collect();
+        assert!(!hit.is_empty() && hit.len() < 100, "{}", hit.len());
+        let other = WireFaultPlan::single(10, WireFault::GarbageLine { fraction: 0.4 });
+        let hit2: Vec<u64> = (0..100)
+            .filter(|&i| other.exchange(i, "PING").payload != b"PING\n")
+            .collect();
+        assert_ne!(hit, hit2, "different seeds must pick different exchanges");
+    }
+
+    #[test]
+    fn wire_faults_compose_in_order() {
+        let plan = WireFaultPlan::new(7)
+            .with(WireFault::SlowWriter { fraction: 1.0, delay: Duration::from_millis(1) })
+            .with(WireFault::DisconnectMidResponse { fraction: 1.0 });
+        let ex = plan.exchange(0, "CANCEL t1 0");
+        assert_eq!(ex.chunk_delay, Some(Duration::from_millis(1)));
+        assert!(ex.disconnect_after_write);
+        assert_eq!(ex.payload, b"CANCEL t1 0\n");
     }
 
     #[test]

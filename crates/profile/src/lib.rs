@@ -32,7 +32,10 @@ pub mod tracegen;
 pub mod validate;
 
 pub use bbv::BbvProfiler;
-pub use chaos::{ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord};
+pub use chaos::{
+    ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord, WireExchange, WireFault,
+    WireFaultPlan,
+};
 pub use csv::{ParseCsvError, WriteCsvError};
 pub use exec_time::ExecTimeProfiler;
 pub use features::{FeatureProfiler, PKA_FEATURE_COUNT};

@@ -1,0 +1,322 @@
+//! The crash-safe job journal: which jobs this daemon has accepted, in a
+//! plain-text file with the same integrity discipline as campaign
+//! snapshots (atomic tmp+rename writes, a fingerprint binding the file to
+//! one daemon identity, an FNV-1a 64 checksum over the body, and
+//! quarantine-never-trust on any validation failure).
+//!
+//! # Format
+//!
+//! ```text
+//! STEM-SERVE-JOURNAL v1
+//! fingerprint 6b1c3f...
+//! job <id> <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> <deadline_ms|->
+//! checksum 9d41a2...
+//! ```
+//!
+//! The journal records job *specs*, never results: a job's completed
+//! units live in its own campaign snapshot (`job-<id>.snap` next to the
+//! journal), and results are recomputed bit-identically from there on
+//! restart via `Pipeline::resume_from`. Keeping results out of the
+//! journal means a torn write can only ever cost queued work, not
+//! correctness.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobSpec, SuiteId};
+use stem_core::SnapshotError;
+
+/// First token of the journal header; the version tag follows it.
+const HEADER_PREFIX: &str = "STEM-SERVE-JOURNAL";
+/// The exact header this version writes and accepts.
+pub(crate) const HEADER: &str = "STEM-SERVE-JOURNAL v1";
+
+/// FNV-1a 64 — the workspace's std-only integrity hash.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes the journal body and appends its checksum line.
+pub(crate) fn serialize_journal(fingerprint: u64, jobs: &BTreeMap<u64, JobSpec>) -> String {
+    let mut body = String::new();
+    let _ = writeln!(body, "{HEADER}");
+    let _ = writeln!(body, "fingerprint {fingerprint:016x}");
+    for (id, spec) in jobs {
+        let deadline = match spec.deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            body,
+            "job {id} {} {} {} {} {} {} {deadline}",
+            spec.tenant,
+            spec.suite.as_str(),
+            spec.suite_seed,
+            spec.workload_index,
+            spec.reps,
+            spec.seed,
+        );
+    }
+    let checksum = fnv1a64(body.as_bytes());
+    let _ = writeln!(body, "checksum {checksum:016x}");
+    body
+}
+
+/// Parses one `job` line's payload (everything after the keyword).
+fn parse_job_fields(rest: &str, line: usize) -> Result<(u64, JobSpec), SnapshotError> {
+    let malformed = |message: String| SnapshotError::Malformed { line, message };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != 8 {
+        return Err(malformed(format!("expected 8 job fields, got {}", fields.len())));
+    }
+    let num = |s: &str, what: &str| -> Result<u64, SnapshotError> {
+        s.parse().map_err(|_| malformed(format!("bad {what} {s:?}")))
+    };
+    let id = num(fields[0], "job id")?;
+    let suite = SuiteId::parse(fields[2])
+        .ok_or_else(|| malformed(format!("unknown suite {:?}", fields[2])))?;
+    let reps = u32::try_from(num(fields[5], "rep count")?)
+        .map_err(|_| malformed(format!("rep count {} too large", fields[5])))?;
+    let deadline_ms = if fields[7] == "-" {
+        None
+    } else {
+        Some(num(fields[7], "deadline")?)
+    };
+    let spec = JobSpec {
+        tenant: fields[1].to_string(),
+        suite,
+        suite_seed: num(fields[3], "suite seed")?,
+        workload_index: num(fields[4], "workload index")? as usize,
+        reps,
+        seed: num(fields[6], "seed")?,
+        deadline_ms,
+    };
+    spec.validate()
+        .map_err(|e| malformed(format!("invalid job spec: {e}")))?;
+    Ok((id, spec))
+}
+
+/// Parses and integrity-checks a journal: header, checksum, grammar.
+/// Returns the recorded fingerprint and the job map.
+pub(crate) fn parse_journal(
+    text: &str,
+) -> Result<(u64, BTreeMap<u64, JobSpec>), SnapshotError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err(SnapshotError::MissingHeader);
+    };
+    if header != HEADER {
+        if header.starts_with(HEADER_PREFIX) {
+            return Err(SnapshotError::VersionMismatch { found: header.to_string() });
+        }
+        return Err(SnapshotError::MissingHeader);
+    }
+
+    // Verify the checksum before believing any line.
+    let Some(tail) = text.lines().next_back() else {
+        return Err(SnapshotError::MissingHeader);
+    };
+    let Some(recorded) = tail.strip_prefix("checksum ") else {
+        return Err(SnapshotError::ChecksumMismatch);
+    };
+    let recorded =
+        u64::from_str_radix(recorded.trim(), 16).map_err(|_| SnapshotError::ChecksumMismatch)?;
+    let Some(body_len) = text.len().checked_sub(tail.len() + 1) else {
+        return Err(SnapshotError::ChecksumMismatch);
+    };
+    if fnv1a64(text[..body_len].as_bytes()) != recorded {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut fingerprint = None;
+    let mut jobs = BTreeMap::new();
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line == tail && fingerprint.is_some() {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("fingerprint ") {
+            let fp = u64::from_str_radix(rest.trim(), 16).map_err(|_| {
+                SnapshotError::Malformed {
+                    line: lineno,
+                    message: format!("bad fingerprint {rest:?}"),
+                }
+            })?;
+            fingerprint = Some(fp);
+        } else if let Some(rest) = line.strip_prefix("job ") {
+            let (id, spec) = parse_job_fields(rest, lineno)?;
+            if jobs.insert(id, spec).is_some() {
+                return Err(SnapshotError::Malformed {
+                    line: lineno,
+                    message: format!("duplicate job {id}"),
+                });
+            }
+        } else {
+            return Err(SnapshotError::Malformed {
+                line: lineno,
+                message: format!("unrecognized line {line:?}"),
+            });
+        }
+    }
+    let Some(fingerprint) = fingerprint else {
+        return Err(SnapshotError::Malformed {
+            line: 2,
+            message: "missing fingerprint line".to_string(),
+        });
+    };
+    Ok((fingerprint, jobs))
+}
+
+/// Appends a suffix to a path's file name.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// Atomically replaces the journal: write a sibling tmp file, then
+/// `rename` over the target, so a kill at any instant leaves either the
+/// previous journal or the new one, never a torn file.
+pub(crate) fn write_journal_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
+    let tmp = sibling(path, ".tmp");
+    fs::write(&tmp, text).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+}
+
+/// A journal that failed validation and was set aside, never trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedJournal {
+    /// Where the rejected file was moved (`<journal>.quarantined`).
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: SnapshotError,
+}
+
+/// Loads the journal at `path`, validating it against this daemon's
+/// `fingerprint`. A missing file is an empty journal; a file failing any
+/// check is renamed to `<path>.quarantined` and reported, and the daemon
+/// starts with an empty job set (re-submitted jobs still resume from
+/// their per-job snapshots — the journal never holds results).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] only when the file exists but cannot be
+/// read or quarantined.
+pub(crate) fn load_journal(
+    path: &Path,
+    fingerprint: u64,
+) -> Result<(BTreeMap<u64, JobSpec>, Option<QuarantinedJournal>), SnapshotError> {
+    let text = match fs::read_to_string(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((BTreeMap::new(), None))
+        }
+        Err(e) => return Err(SnapshotError::Io(e.to_string())),
+        Ok(text) => text,
+    };
+    let verdict = parse_journal(&text).and_then(|(fp, jobs)| {
+        if fp == fingerprint {
+            Ok(jobs)
+        } else {
+            Err(SnapshotError::FingerprintMismatch)
+        }
+    });
+    match verdict {
+        Ok(jobs) => Ok((jobs, None)),
+        Err(reason) => {
+            let target = sibling(path, ".quarantined");
+            fs::rename(path, &target).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            Ok((BTreeMap::new(), Some(QuarantinedJournal { path: target, reason })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tenant: &str, idx: usize) -> JobSpec {
+        JobSpec {
+            tenant: tenant.to_string(),
+            suite: SuiteId::Casio,
+            suite_seed: 5,
+            workload_index: idx,
+            reps: 2,
+            seed: 9,
+            deadline_ms: if idx % 2 == 0 { Some(500) } else { None },
+        }
+    }
+
+    fn jobs() -> BTreeMap<u64, JobSpec> {
+        let mut m = BTreeMap::new();
+        m.insert(0, spec("alice", 0));
+        m.insert(2, spec("bob", 1));
+        m
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let text = serialize_journal(0xfeed, &jobs());
+        let (fp, parsed) = parse_journal(&text).expect("round trip");
+        assert_eq!(fp, 0xfeed);
+        assert_eq!(parsed, jobs());
+    }
+
+    #[test]
+    fn damage_is_rejected() {
+        let text = serialize_journal(1, &jobs());
+        let cut = &text[..text.len() / 2];
+        assert!(matches!(parse_journal(cut), Err(SnapshotError::ChecksumMismatch)));
+        let stale = text.replacen("v1", "v999", 1);
+        assert!(matches!(
+            parse_journal(&stale),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'0' { b'1' } else { b'0' };
+        let flipped = String::from_utf8(bytes).expect("ascii");
+        assert!(parse_journal(&flipped).is_err());
+        assert!(matches!(parse_journal(""), Err(SnapshotError::MissingHeader)));
+    }
+
+    #[test]
+    fn load_quarantines_corruption_and_foreign_fingerprints() {
+        let dir = std::env::temp_dir().join("stem-serve-journal-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("serve.journal");
+
+        // Missing file: empty journal, nothing quarantined.
+        let (empty, q) = load_journal(&path, 7).expect("missing ok");
+        assert!(empty.is_empty() && q.is_none());
+
+        // Valid file, matching fingerprint.
+        write_journal_atomic(&path, &serialize_journal(7, &jobs())).expect("write");
+        assert!(!sibling(&path, ".tmp").exists(), "tmp must be renamed away");
+        let (loaded, q) = load_journal(&path, 7).expect("load");
+        assert_eq!(loaded, jobs());
+        assert!(q.is_none());
+
+        // Foreign fingerprint: quarantined, empty start.
+        let (loaded, q) = load_journal(&path, 8).expect("load");
+        assert!(loaded.is_empty());
+        let q = q.expect("quarantined");
+        assert_eq!(q.reason, SnapshotError::FingerprintMismatch);
+        assert!(q.path.exists());
+        assert!(!path.exists());
+
+        // Corrupt bytes: quarantined too.
+        fs::write(&path, "STEM-SERVE-JOURNAL v1\ngarbage\n").expect("write");
+        let (loaded, q) = load_journal(&path, 7).expect("load");
+        assert!(loaded.is_empty());
+        assert!(q.expect("quarantined").path.to_string_lossy().ends_with(".quarantined"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

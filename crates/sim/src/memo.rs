@@ -16,13 +16,17 @@
 //! The cache is *output-invisible*: `deterministic_timing` is a pure
 //! function, so a hit returns exactly the bits a recomputation would
 //! produce, and the weighted-sum reduction still folds in sample order.
+//! For long-lived processes the table can be bounded
+//! ([`SimCache::with_capacity`]): full shards evict their oldest insertion,
+//! which is equally output-invisible — an evicted entry is simply
+//! recomputed to the same bits on its next miss.
 //! Hit/miss counters are informational only. Keys are 128-bit structural
 //! fingerprints over the full µarch config, the sim options, the workload's
 //! kernel and context tables, and the group's own fields, so two different
 //! configurations (or workloads) can never alias a cache line — the
 //! cache-poisoning guard tests below pin this.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -35,13 +39,32 @@ use stem_par::Parallelism;
 /// Shard count; a power of two so `key & (SHARDS - 1)` selects a shard.
 const SHARDS: usize = 16;
 
+/// One shard: the memo map plus its keys in insertion order, so a bounded
+/// shard can evict deterministically (oldest insertion first).
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u128, DeterministicTiming>,
+    order: VecDeque<u128>,
+}
+
 /// A sharded, thread-safe memo table from group fingerprints to
 /// [`DeterministicTiming`] cores.
+///
+/// By default the table is unbounded — the right choice for one-shot runs,
+/// where the working set is the run's own group count. Long-lived processes
+/// (the `stem-serve` daemon shares one cache across every campaign it ever
+/// runs) must bound it with [`SimCache::with_capacity`]: each shard then
+/// holds at most `cap` entries and evicts its **oldest insertion** to make
+/// room. Eviction is output-invisible — entries are pure functions of their
+/// key, so an evicted-then-recomputed entry is bit-identical to the cached
+/// one; only the hit rate and [`SimCache::evictions`] move.
 #[derive(Debug)]
 pub struct SimCache {
-    shards: Vec<Mutex<HashMap<u128, DeterministicTiming>>>,
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     poison_recoveries: AtomicU64,
 }
 
@@ -52,19 +75,38 @@ impl Default for SimCache {
 }
 
 impl SimCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates an empty cache holding at most `per_shard` entries per shard
+    /// (so at most `per_shard * num_shards()` entries total). A zero cap is
+    /// promoted to one — a cache that cannot hold anything would turn every
+    /// lookup into a miss-and-evict churn for no benefit.
+    pub fn with_capacity(per_shard: usize) -> Self {
+        Self::build(Some(per_shard.max(1)))
+    }
+
+    fn build(capacity_per_shard: Option<usize>) -> Self {
         SimCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
         }
     }
 
+    /// The per-shard entry cap, if the cache is bounded.
+    pub fn capacity_per_shard(&self) -> Option<usize> {
+        self.capacity_per_shard
+    }
+
     /// Number of memoised timings.
     pub fn len(&self) -> usize {
-        (0..SHARDS).map(|i| self.lock_shard(i).len()).sum()
+        (0..SHARDS).map(|i| self.lock_shard(i).map.len()).sum()
     }
 
     /// True if nothing has been memoised yet.
@@ -98,6 +140,12 @@ impl SimCache {
         self.poison_recoveries.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted so far to honour the per-shard cap (always 0 for an
+    /// unbounded cache).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Returns the memoised core for `key`, computing and inserting it on
     /// a miss. `compute` runs outside the shard lock so a slow simulation
     /// never blocks other shard traffic; a racing duplicate insert is
@@ -108,13 +156,32 @@ impl SimCache {
         compute: impl FnOnce() -> DeterministicTiming,
     ) -> DeterministicTiming {
         let shard = (key as usize) & (SHARDS - 1);
-        if let Some(&t) = self.lock_shard(shard).get(&key) {
+        if let Some(&t) = self.lock_shard(shard).map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return t;
         }
         let t = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.lock_shard(shard).insert(key, t);
+        let mut guard = self.lock_shard(shard);
+        // A racing worker may have inserted the same key while we computed;
+        // re-inserting would double-count it in the insertion-order queue.
+        if !guard.map.contains_key(&key) {
+            if let Some(cap) = self.capacity_per_shard {
+                while guard.map.len() >= cap {
+                    match guard.order.pop_front() {
+                        Some(oldest) => {
+                            guard.map.remove(&oldest);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Map and queue can only disagree transiently after
+                        // a poison recovery cleared both; nothing to evict.
+                        None => break,
+                    }
+                }
+            }
+            guard.map.insert(key, t);
+            guard.order.push_back(key);
+        }
         t
     }
 
@@ -126,17 +193,15 @@ impl SimCache {
     /// clear the shard and let it rebuild — a rebuilt entry is
     /// bit-identical to the lost one, so recovery is output-invisible
     /// (only the hit rate and [`SimCache::poison_recoveries`] move).
-    fn lock_shard(
-        &self,
-        shard: usize,
-    ) -> std::sync::MutexGuard<'_, HashMap<u128, DeterministicTiming>> {
+    fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
         match self.shards[shard].lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
                 self.shards[shard].clear_poison();
                 let mut guard = poisoned.into_inner();
-                guard.clear();
+                guard.map.clear();
+                guard.order.clear();
                 guard
             }
         }
@@ -440,6 +505,89 @@ mod tests {
         assert_eq!(cache.misses(), 0);
         assert_eq!(cache.hit_rate(), 0.0);
         assert_eq!(cache.poison_recoveries(), 0);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity_per_shard(), None);
+        assert_eq!(SimCache::with_capacity(7).capacity_per_shard(), Some(7));
+        // A zero cap is promoted to one entry per shard.
+        assert_eq!(SimCache::with_capacity(0).capacity_per_shard(), Some(1));
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_cap_and_counts_evictions() {
+        // One workload alone may touch fewer groups than there are shards;
+        // stream the whole suite through one tight cache so shards collide
+        // and the cap has to evict.
+        let suite = rodinia_suite(5);
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let cache = SimCache::with_capacity(1);
+        let mut total_groups = 0;
+        for w in &suite {
+            let samples = unit_samples(w.num_invocations().min(500));
+            let plain = sim.run_sampled(w, &samples);
+            for threads in [1usize, 4] {
+                let run = sim.run_sampled_cached(
+                    w,
+                    &samples,
+                    Parallelism::with_threads(threads),
+                    &cache,
+                );
+                assert_eq!(
+                    run, plain,
+                    "{}: eviction must be output-invisible (threads {threads})",
+                    w.name()
+                );
+                assert!(
+                    cache.len() <= cache.num_shards(),
+                    "cap 1 per shard exceeded: {} entries",
+                    cache.len()
+                );
+            }
+            total_groups += w.num_invocation_groups();
+        }
+        assert!(
+            total_groups > cache.num_shards(),
+            "suite too small to force collisions: {total_groups} groups"
+        );
+        assert!(cache.evictions() > 0, "a cap of 1 must have evicted something");
+    }
+
+    #[test]
+    fn warm_run_on_a_bounded_cache_stays_identical() {
+        let w = &rodinia_suite(5)[1];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(400));
+        let plain = sim.run_sampled(w, &samples);
+        // Generous cap: nothing is evicted, warm behaviour matches the
+        // unbounded cache exactly.
+        let roomy = SimCache::with_capacity(4096);
+        let cold = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &roomy);
+        let warm = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &roomy);
+        assert_eq!(cold, plain);
+        assert_eq!(warm, plain);
+        assert_eq!(roomy.evictions(), 0);
+        assert!(roomy.hits() > 0, "warm run must hit a roomy cache");
+        // Tight cap: the warm run may churn, but the bits never move.
+        let tight = SimCache::with_capacity(1);
+        let cold = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &tight);
+        let warm = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &tight);
+        assert_eq!(cold, plain);
+        assert_eq!(warm, plain);
+    }
+
+    #[test]
+    fn poisoned_bounded_shard_recovers_clean() {
+        let w = &rodinia_suite(5)[2];
+        let sim = Simulator::new(GpuConfig::rtx2080());
+        let samples = unit_samples(w.num_invocations().min(200));
+        let plain = sim.run_sampled(w, &samples);
+        let cache = SimCache::with_capacity(2);
+        sim.run_sampled_cached(w, &samples, Parallelism::serial(), &cache);
+        for shard in 0..cache.num_shards() {
+            cache.poison_shard(shard);
+        }
+        let after = sim.run_sampled_cached(w, &samples, Parallelism::serial(), &cache);
+        assert_eq!(after, plain, "recovery on a bounded cache must be output-invisible");
+        assert!(cache.len() <= 2 * cache.num_shards());
     }
 
     #[test]

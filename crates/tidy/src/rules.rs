@@ -4,16 +4,19 @@
 //!
 //! * **library source** — `src/` of the facade and of every substrate crate
 //!   (`stats`, `cluster`, `core`, `sim`, `profile`, `workload`,
-//!   `baselines`), excluding `src/bin/`. The harness crates (`bench`,
-//!   `tidy`) print reports by design and are exempt from the print rule but
-//!   not from the RNG/hygiene rules.
-//! * **hot paths** — `stats`, `cluster`, `core`, `sim`: the crates on the
-//!   per-invocation simulation path, where a stray `panic!` would take down
-//!   a long sampling run.
-//! * **ingestion paths** — `profile` plus `workload/src/io.rs`: code that
+//!   `baselines`, `par`, `serve`), excluding `src/bin/`. The harness
+//!   crates (`bench`, `tidy`) print reports by design and are exempt from
+//!   the print rule but not from the RNG/hygiene rules.
+//! * **hot paths** — `stats`, `cluster`, `core`, `sim`, `par`, `serve`:
+//!   the crates on the per-invocation simulation path plus the daemon,
+//!   where a stray `panic!` would take down a long sampling run (or every
+//!   tenant's campaign at once).
+//! * **ingestion paths** — `profile`, `workload/src/io.rs`, and the serve
+//!   crate's wire-facing files (`serve/src/{proto,journal}.rs`): code that
 //!   parses or validates *external* data (profiler CSVs, workload text
-//!   documents, raw traces). Malformed input there must surface as a typed
-//!   error, so the whole `panic!`/`assert!` family is banned.
+//!   documents, raw traces, protocol lines, on-disk journals). Malformed
+//!   input there must surface as a typed error, so the whole
+//!   `panic!`/`assert!` family is banned.
 //! * **hot inner-loop files** — the per-invocation simulation loop and the
 //!   k-means assignment loop (`sim/src/{simulator,sampled,hardware,memo,
 //!   exec}.rs`, `cluster/src/{kmeans,matrix,distance}.rs`): `Vec`
@@ -80,7 +83,7 @@ pub fn severity(rule: &str) -> Severity {
 }
 
 /// Crates whose `src/` is library source (see module docs).
-const LIB_SRC_PREFIXES: [&str; 9] = [
+const LIB_SRC_PREFIXES: [&str; 10] = [
     "crates/stats/src/",
     "crates/cluster/src/",
     "crates/core/src/",
@@ -89,21 +92,32 @@ const LIB_SRC_PREFIXES: [&str; 9] = [
     "crates/workload/src/",
     "crates/baselines/src/",
     "crates/par/src/",
+    "crates/serve/src/",
     "src/",
 ];
 
-/// Crates on the per-invocation hot path (no `panic!` family).
-const HOT_SRC_PREFIXES: [&str; 5] = [
+/// Crates on the per-invocation hot path (no `panic!` family). The serve
+/// daemon counts: a stray `panic!` in a worker or connection handler
+/// takes down every tenant's campaign at once.
+const HOT_SRC_PREFIXES: [&str; 6] = [
     "crates/stats/src/",
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/sim/src/",
     "crates/par/src/",
+    "crates/serve/src/",
 ];
 
 /// Ingestion paths: library code that parses or validates external data
 /// (the whole `panic!`/`assert!` family is banned, asserts included).
-const INGEST_SRC_PREFIXES: [&str; 2] = ["crates/profile/src/", "crates/workload/src/io.rs"];
+/// For the serve crate that is the wire-facing surface: the protocol
+/// parser and the on-disk journal reader, both fed attacker-shaped bytes.
+const INGEST_SRC_PREFIXES: [&str; 4] = [
+    "crates/profile/src/",
+    "crates/workload/src/io.rs",
+    "crates/serve/src/proto.rs",
+    "crates/serve/src/journal.rs",
+];
 
 /// The hot inner-loop files: the per-invocation simulation loop and the
 /// k-means assignment loop. `Vec` collection here is advisory (rule
@@ -451,6 +465,29 @@ mod tests {
         assert!(check("crates/bench/src/a.rs", "x.unwrap();\n").is_empty());
         assert!(check("crates/core/tests/a.rs", "x.unwrap();\n").is_empty());
         assert!(check("crates/core/src/bin/a.rs", "x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn serve_daemon_is_lib_hot_and_wire_ingest_scoped() {
+        assert_eq!(check("crates/serve/src/server.rs", "x.unwrap();\n")[0].rule, NO_UNWRAP);
+        assert_eq!(check("crates/serve/src/server.rs", "panic!(\"x\");\n")[0].rule, NO_PANIC);
+        assert_eq!(
+            check("crates/serve/src/proto.rs", "assert!(ok);\n")[0].rule,
+            NO_INGEST_PANIC
+        );
+        assert_eq!(
+            check("crates/serve/src/journal.rs", "assert_eq!(a, b);\n")[0].rule,
+            NO_INGEST_PANIC
+        );
+        // The daemon binary may print (it is the reporting layer) but must
+        // still never panic.
+        assert!(check("crates/serve/src/bin/stem-serve.rs", "println!(\"x\");\n").is_empty());
+        assert_eq!(
+            check("crates/serve/src/bin/stem-serve.rs", "panic!(\"x\");\n")[0].rule,
+            NO_PANIC
+        );
+        // The non-wire modules keep structural asserts legal.
+        assert!(check("crates/serve/src/config.rs", "assert!(ok);\n").is_empty());
     }
 
     #[test]

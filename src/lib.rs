@@ -56,6 +56,7 @@ pub use stem_baselines as baselines;
 pub use stem_cluster as cluster;
 pub use stem_core as core;
 pub use stem_par as par;
+pub use stem_serve as serve;
 pub use stem_stats as stats;
 
 /// One-stop imports for the common workflow.
@@ -81,6 +82,7 @@ pub mod prelude {
         CampaignReport, Pipeline, QuarantinedSnapshot, RecoveryPolicy, SamplingPlan,
         SnapshotError, StemConfig, StemError, StemRootSampler,
     };
+    pub use stem_serve::{JobPhase, JobSpec, ServeConfig, Server, SuiteId};
 }
 
 #[cfg(test)]
