@@ -14,6 +14,7 @@ cargo test -q --offline --test crash_resume
 cargo test -q --offline --test serve
 cargo test -q --offline --test parallel_equivalence
 cargo test -q --offline --test hotpath_equivalence
+cargo test -q --offline --test coverage
 # Threads=1 vs threads=4 smoke check: asserts bit-identical results only;
 # the printed speedup is informational (never a gate).
 cargo test -q --offline -p stem-bench --test scaling_smoke -- --nocapture
@@ -24,6 +25,17 @@ cargo run -p stem-tidy --release --offline -- --summary-out crates/bench/results
 if ! git diff --quiet -- crates/bench/results/tidy_summary.json 2>/dev/null; then
   echo "crates/bench/results/tidy_summary.json drifted from the committed summary:" >&2
   git --no-pager diff -- crates/bench/results/tidy_summary.json >&2
+  exit 1
+fi
+# Coverage calibration matrix (6 samplers x 6 scenarios x 40 reps +
+# chaos cell): the summary is a committed artifact, so any change in a
+# cell's tally — a sampler's bound going stale, a scenario drifting —
+# shows up as a diff in review, not just as a coverage gate failure.
+STEM_RESULTS_DIR=crates/bench/results \
+  cargo run -p stem-bench --release --offline --bin repro -- coverage
+if ! git diff --quiet -- crates/bench/results/coverage_summary.json 2>/dev/null; then
+  echo "crates/bench/results/coverage_summary.json drifted from the committed matrix:" >&2
+  git --no-pager diff -- crates/bench/results/coverage_summary.json >&2
   exit 1
 fi
 # Hot-path perf baseline: informational only, never a gate (CI machines

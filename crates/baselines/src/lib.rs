@@ -1,6 +1,7 @@
-//! Baseline GPU kernel-sampling methods (Table 1 of the paper).
+//! Baseline GPU kernel-sampling methods (Table 1 of the paper, plus the
+//! two Ekman CPU-sampling ports used for error-bound cross-checking).
 //!
-//! All four comparison points are implemented from their papers'
+//! The comparison points are implemented from their papers'
 //! descriptions, including the failure modes the STEM paper documents:
 //!
 //! * [`random`] — uniform random sampling (10% on Rodinia, 0.1% on
@@ -18,10 +19,19 @@
 //!   cost Sec. 5.6 analyzes).
 //! * [`tbpoint`] — TBPoint-style clustering with
 //!   centroid-nearest representatives (related work, used in ablations).
+//! * [`rss`] — ranked set sampling with repeated subsampling: rank-strata
+//!   over a static proxy, with an *empirical* CI from `R` repeated draws
+//!   that cross-checks STEM's analytic CLT/KKT interval.
+//! * [`two_phase`] — two-phase stratified sampling: per-kernel pilot
+//!   variance estimation, then Neyman allocation.
 //!
 //! The paper hand-tunes PKA and Sieve on a few Rodinia/CASIO workloads to
 //! use a random representative instead of the first-chronological one
 //! (Sec. 5.1); both implementations expose that switch.
+//!
+//! [`standard_registry`] exposes all of the above (plus STEM itself) by
+//! wire name; [`stratum`] holds the shared stratified-sampling arithmetic
+//! with the degenerate-stratum guards.
 
 // Workspace lint headers, enforced by `stem-tidy` (rule `lint-headers`).
 #![deny(missing_debug_implementations)]
@@ -30,11 +40,18 @@
 pub mod photon;
 pub mod pka;
 pub mod random;
+pub mod registry;
+pub mod rss;
 pub mod sieve;
+pub mod stratum;
 pub mod tbpoint;
+pub mod two_phase;
 
 pub use photon::PhotonSampler;
 pub use pka::PkaSampler;
 pub use random::RandomSampler;
+pub use registry::standard_registry;
+pub use rss::RssSampler;
 pub use sieve::SieveSampler;
 pub use tbpoint::TbPointSampler;
+pub use two_phase::TwoPhaseSampler;

@@ -28,7 +28,17 @@ use stem_core::sampler::KernelSampler;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandomSampler {
-    probability: f64,
+    mode: Mode,
+}
+
+/// How the inclusion probability is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// A fixed probability, whatever the workload.
+    Fixed(f64),
+    /// Resolve the paper's per-suite rate from each workload's suite tag
+    /// at plan time.
+    PerSuite,
 }
 
 impl RandomSampler {
@@ -42,7 +52,7 @@ impl RandomSampler {
             probability > 0.0 && probability <= 1.0,
             "inclusion probability must be in (0, 1], got {probability}"
         );
-        RandomSampler { probability }
+        RandomSampler { mode: Mode::Fixed(probability) }
     }
 
     /// The paper's per-suite rates: 10% for Rodinia, 0.1% for CASIO and
@@ -54,9 +64,24 @@ impl RandomSampler {
         }
     }
 
+    /// A sampler that resolves [`RandomSampler::for_suite`] from each
+    /// workload's own suite tag at plan time — the form the sampler
+    /// registry registers, since a registry constructor sees no workload.
+    pub fn auto() -> Self {
+        RandomSampler { mode: Mode::PerSuite }
+    }
+
     /// The configured inclusion probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`RandomSampler::auto`] samplers, whose probability is
+    /// only known once a workload (hence a suite) is in hand.
     pub fn probability(&self) -> f64 {
-        self.probability
+        match self.mode {
+            Mode::Fixed(p) => p,
+            Mode::PerSuite => panic!("auto() sampler has no fixed probability"),
+        }
     }
 }
 
@@ -68,10 +93,14 @@ impl KernelSampler for RandomSampler {
     fn plan(&self, workload: &Workload, rep_seed: u64) -> SamplingPlan {
         let n = workload.num_invocations();
         assert!(n > 0, "cannot sample an empty workload");
+        let probability = match self.mode {
+            Mode::Fixed(p) => p,
+            Mode::PerSuite => Self::for_suite(workload.suite()).probability(),
+        };
         let mut rng = StdRng::seed_from_u64(rep_seed ^ 0x5eed_5eed);
-        let weight = 1.0 / self.probability;
+        let weight = 1.0 / probability;
         let mut samples: Vec<WeightedSample> = (0..n)
-            .filter(|_| rng.random::<f64>() < self.probability)
+            .filter(|_| rng.random::<f64>() < probability)
             .map(|i| WeightedSample::new(i, weight))
             .collect();
         if samples.is_empty() {
@@ -147,6 +176,22 @@ mod tests {
         let km = suite.iter().find(|w| w.name() == "kmeans").expect("kmeans");
         let plan = RandomSampler::new(0.001).plan(km, 1);
         assert!(plan.num_samples() >= 1);
+    }
+
+    #[test]
+    fn auto_mode_matches_the_suite_rate() {
+        let suite = rodinia_suite(2);
+        let w = &suite[0];
+        assert_eq!(
+            RandomSampler::auto().plan(w, 5),
+            RandomSampler::for_suite(SuiteKind::Rodinia).plan(w, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no fixed probability")]
+    fn auto_mode_has_no_fixed_probability() {
+        RandomSampler::auto().probability();
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!   ext-intra        intra-kernel (wave-level) sampling (extension)
 //!   ext-tracegen     selective trace-generation savings (Fig. 5)
 //!   ext-energy       sampled energy estimation
+//!   coverage         interval-calibration matrix -> coverage_summary.json
 //!
 //! Options:
 //!   --reps N         repetitions per experiment  [default: 10; 3 with --fast]
@@ -39,7 +40,7 @@
 use std::process::ExitCode;
 
 use stem_bench::experiments::{
-    ablations, accuracy, dse, extensions, limits, metrics, motivation, overhead,
+    ablations, accuracy, coverage, dse, extensions, limits, metrics, motivation, overhead,
 };
 use stem_bench::harness::ExperimentOptions;
 use stem_core::StemError;
@@ -176,6 +177,11 @@ fn run() -> Result<(), StemError> {
         "ext-energy" => {
             extensions::ext_energy(&options);
         }
+        "coverage" => {
+            // The calibration matrix pins its own reps/seed so the
+            // committed summary regenerates bit-identically.
+            coverage::coverage_summary();
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             return Ok(());
@@ -206,7 +212,7 @@ fn parse_next<T: std::str::FromStr>(
 fn print_usage() {
     println!(
         "repro — regenerate the STEM+ROOT paper's tables and figures\n\n\
-         usage: repro <all|table2|table3|table4|table5|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-kkt|ablation-root|ablation-flush|ablation-smallsample|ext-chakra|ext-intra|ext-tracegen|ext-energy>\n\
+         usage: repro <all|table2|table3|table4|table5|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-kkt|ablation-root|ablation-flush|ablation-smallsample|ext-chakra|ext-intra|ext-tracegen|ext-energy|coverage>\n\
          \x20      [--reps N] [--seed S] [--hf-scale F] [--fast]"
     );
 }

@@ -8,11 +8,14 @@ use gpu_workload::suites::HuggingfaceScale;
 use gpu_workload::{SuiteKind, Workload};
 use stem_core::eval::arithmetic_mean;
 
-/// The Table 4 method columns.
-const DSE_METHODS: [MethodKind; 4] = [
+/// The Table 4 method columns (the paper's four plus the RSS and
+/// two-phase baselines this reproduction adds).
+const DSE_METHODS: [MethodKind; 6] = [
     MethodKind::Pka,
     MethodKind::Sieve,
     MethodKind::Photon,
+    MethodKind::Rss,
+    MethodKind::TwoPhase,
     MethodKind::Stem,
 ];
 
@@ -81,7 +84,7 @@ pub fn table4(options: &ExperimentOptions) -> Vec<DseCell> {
         }
     }
 
-    let mut t = Table::new(&["uarch_change", "PKA", "Sieve", "Photon", "STEM"]);
+    let mut t = Table::new(&["uarch_change", "PKA", "Sieve", "Photon", "RSS", "TwoPhase", "STEM"]);
     for transform in DseTransform::TABLE4 {
         let label = transform.label();
         let cell = |m: &str| -> String {
@@ -98,6 +101,8 @@ pub fn table4(options: &ExperimentOptions) -> Vec<DseCell> {
             cell("PKA"),
             cell("Sieve"),
             cell("Photon"),
+            cell("RSS"),
+            cell("TwoPhase"),
             cell("STEM"),
         ]);
     }
@@ -258,8 +263,8 @@ mod tests {
         let mut opts = ExperimentOptions::fast();
         opts.reps = 1;
         let rows = fig12(&opts);
-        // 6 workloads x 5 variants x 4 methods.
-        assert_eq!(rows.len(), 6 * 5 * 4);
+        // 6 workloads x 5 variants x 6 methods.
+        assert_eq!(rows.len(), 6 * 5 * 6);
         for r in rows.iter().filter(|r| r.method == "STEM") {
             let ratio = r.estimated / r.full;
             assert!(

@@ -11,9 +11,11 @@
 //! | [`overhead`]   | Table 5 |
 //! | [`ablations`]  | Sec. 3.3 KKT claim, Sec. 6.2 L2-flush claim, ROOT on/off |
 //! | [`extensions`] | Sec. 6.2 future work: multi-GPU execution-trace node sampling |
+//! | [`coverage`]   | Interval calibration: sampler × scenario coverage matrix |
 
 pub mod ablations;
 pub mod accuracy;
+pub mod coverage;
 pub mod dse;
 pub mod extensions;
 pub mod limits;

@@ -4,7 +4,10 @@
 use gpu_sim::{GpuConfig, Simulator};
 use gpu_workload::suites::{casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale};
 use gpu_workload::{SuiteKind, Workload};
-use stem_baselines::{PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler};
+use stem_baselines::{
+    PhotonSampler, PkaSampler, RandomSampler, RssSampler, SieveSampler, TbPointSampler,
+    TwoPhaseSampler,
+};
 use stem_core::eval::{evaluate, EvalSummary};
 use stem_core::sampler::KernelSampler;
 use stem_core::{StemConfig, StemRootSampler};
@@ -25,19 +28,26 @@ pub enum MethodKind {
     Stem,
     /// TBPoint (extra ablation point, not in Table 3).
     TbPoint,
+    /// Ranked set sampling with repeated subsampling (Ekman port).
+    Rss,
+    /// Two-phase stratified sampling (Ekman port).
+    TwoPhase,
 }
 
 impl MethodKind {
-    /// Table 3's five methods, in row order.
-    pub const TABLE3: [MethodKind; 5] = [
+    /// The evaluation's method rows: the paper's five Table 3 methods
+    /// plus the RSS and two-phase baselines this reproduction adds.
+    pub const TABLE3: [MethodKind; 7] = [
         MethodKind::Random,
         MethodKind::Pka,
         MethodKind::Sieve,
         MethodKind::Photon,
+        MethodKind::Rss,
+        MethodKind::TwoPhase,
         MethodKind::Stem,
     ];
 
-    /// Display name.
+    /// Display name (matches the constructed sampler's `name()`).
     pub fn label(&self) -> &'static str {
         match self {
             MethodKind::Random => "Random",
@@ -46,13 +56,20 @@ impl MethodKind {
             MethodKind::Photon => "Photon",
             MethodKind::Stem => "STEM",
             MethodKind::TbPoint => "TBPoint",
+            MethodKind::Rss => "RSS",
+            MethodKind::TwoPhase => "TwoPhase",
         }
     }
 
     /// Whether the paper could run this method on the HuggingFace suite
-    /// (PKA/Sieve/Photon are N/A there for overhead reasons, Table 3).
+    /// (PKA/Sieve/Photon are N/A there for overhead reasons, Table 3;
+    /// RSS and two-phase plan in one pass over profile times, so they
+    /// scale like Random and STEM).
     pub fn feasible_on_huggingface(&self) -> bool {
-        matches!(self, MethodKind::Random | MethodKind::Stem)
+        matches!(
+            self,
+            MethodKind::Random | MethodKind::Stem | MethodKind::Rss | MethodKind::TwoPhase
+        )
     }
 }
 
@@ -99,6 +116,8 @@ pub fn build_sampler(
         MethodKind::Photon => Box::new(PhotonSampler::new()),
         MethodKind::Stem => Box::new(StemRootSampler::new(stem_config.clone())),
         MethodKind::TbPoint => Box::new(TbPointSampler::new()),
+        MethodKind::Rss => Box::new(RssSampler::new()),
+        MethodKind::TwoPhase => Box::new(TwoPhaseSampler::new()),
     }
 }
 

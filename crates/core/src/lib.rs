@@ -60,6 +60,7 @@ pub mod intra;
 pub mod eval;
 pub mod pipeline;
 pub mod plan;
+pub mod registry;
 pub mod root;
 pub mod sampler;
 pub mod stem;
@@ -71,5 +72,6 @@ pub use error::StemError;
 pub use eval::{EvalResult, EvalSummary, StreamingAggregate};
 pub use pipeline::Pipeline;
 pub use plan::SamplingPlan;
+pub use registry::SamplerRegistry;
 pub use sampler::KernelSampler;
 pub use stem::StemRootSampler;

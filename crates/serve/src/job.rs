@@ -72,6 +72,11 @@ pub struct JobSpec {
     /// Soft deadline per `(workload, rep)` unit, ms; a unit outliving it
     /// is flagged as a straggler in job status (never killed).
     pub deadline_ms: Option<u64>,
+    /// Sampler to plan with, by `standard_registry` name (`STEM`, `RSS`,
+    /// `TwoPhase`, `PKA`, ...). Part of the job identity: the journal
+    /// persists it so a restarted daemon resumes the campaign under the
+    /// same method.
+    pub sampler: String,
 }
 
 /// True for tokens safe to embed in one-line plain-text records: tenant
@@ -102,6 +107,14 @@ impl JobSpec {
                 "at least one repetition required".to_string(),
             ));
         }
+        if !valid_token(&self.sampler) {
+            return Err(StemError::InvalidConfig(format!(
+                "sampler must be 1-64 chars of [A-Za-z0-9._-], got {:?}",
+                self.sampler
+            )));
+        }
+        // Registry membership is checked at admission, where the sampler
+        // registry lives; this validation is purely structural.
         Ok(())
     }
 
@@ -190,6 +203,7 @@ mod tests {
             reps: 2,
             seed: 1,
             deadline_ms: None,
+            sampler: "STEM".to_string(),
         }
     }
 
@@ -209,6 +223,9 @@ mod tests {
         assert!(bad.validate().is_err());
         let mut bad = spec();
         bad.reps = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.sampler = "no spaces allowed".to_string();
         assert!(bad.validate().is_err());
     }
 

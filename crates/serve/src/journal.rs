@@ -9,9 +9,13 @@
 //! ```text
 //! STEM-SERVE-JOURNAL v1
 //! fingerprint 6b1c3f...
-//! job <id> <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> <deadline_ms|->
+//! job <id> <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> <deadline_ms|-> <sampler>
 //! checksum 9d41a2...
 //! ```
+//!
+//! A `job` line with only 8 fields (written before samplers were
+//! per-job) parses with the sampler defaulted to `STEM`, so upgrading
+//! the daemon never quarantines a healthy journal.
 //!
 //! The journal records job *specs*, never results: a job's completed
 //! units live in its own campaign snapshot (`job-<id>.snap` next to the
@@ -55,13 +59,14 @@ pub(crate) fn serialize_journal(fingerprint: u64, jobs: &BTreeMap<u64, JobSpec>)
         };
         let _ = writeln!(
             body,
-            "job {id} {} {} {} {} {} {} {deadline}",
+            "job {id} {} {} {} {} {} {} {deadline} {}",
             spec.tenant,
             spec.suite.as_str(),
             spec.suite_seed,
             spec.workload_index,
             spec.reps,
             spec.seed,
+            spec.sampler,
         );
     }
     let checksum = fnv1a64(body.as_bytes());
@@ -73,8 +78,8 @@ pub(crate) fn serialize_journal(fingerprint: u64, jobs: &BTreeMap<u64, JobSpec>)
 fn parse_job_fields(rest: &str, line: usize) -> Result<(u64, JobSpec), SnapshotError> {
     let malformed = |message: String| SnapshotError::Malformed { line, message };
     let fields: Vec<&str> = rest.split_whitespace().collect();
-    if fields.len() != 8 {
-        return Err(malformed(format!("expected 8 job fields, got {}", fields.len())));
+    if fields.len() != 8 && fields.len() != 9 {
+        return Err(malformed(format!("expected 8 or 9 job fields, got {}", fields.len())));
     }
     let num = |s: &str, what: &str| -> Result<u64, SnapshotError> {
         s.parse().map_err(|_| malformed(format!("bad {what} {s:?}")))
@@ -97,6 +102,8 @@ fn parse_job_fields(rest: &str, line: usize) -> Result<(u64, JobSpec), SnapshotE
         reps,
         seed: num(fields[6], "seed")?,
         deadline_ms,
+        // 8-field lines predate per-job samplers: those jobs ran STEM.
+        sampler: fields.get(8).unwrap_or(&"STEM").to_string(),
     };
     spec.validate()
         .map_err(|e| malformed(format!("invalid job spec: {e}")))?;
@@ -250,6 +257,7 @@ mod tests {
             reps: 2,
             seed: 9,
             deadline_ms: if idx % 2 == 0 { Some(500) } else { None },
+            sampler: if idx % 2 == 0 { "STEM" } else { "RSS" }.to_string(),
         }
     }
 
@@ -266,6 +274,33 @@ mod tests {
         let (fp, parsed) = parse_journal(&text).expect("round trip");
         assert_eq!(fp, 0xfeed);
         assert_eq!(parsed, jobs());
+    }
+
+    #[test]
+    fn legacy_eight_field_job_lines_default_to_stem() {
+        // A journal written before samplers were per-job: rebuild one by
+        // stripping the sampler column and re-checksumming the body.
+        let text = serialize_journal(3, &jobs());
+        let body_no_checksum: String = text
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| {
+                if l.starts_with("job ") {
+                    let cut = l.rfind(' ').expect("fields");
+                    format!("{}\n", &l[..cut])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let legacy =
+            format!("{body_no_checksum}checksum {:016x}\n", fnv1a64(body_no_checksum.as_bytes()));
+        let (fp, parsed) = parse_journal(&legacy).expect("legacy journal parses");
+        assert_eq!(fp, 3);
+        assert_eq!(parsed.len(), jobs().len());
+        for spec in parsed.values() {
+            assert_eq!(spec.sampler, "STEM", "legacy jobs ran STEM");
+        }
     }
 
     #[test]

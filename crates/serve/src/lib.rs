@@ -17,7 +17,10 @@
 //!
 //! # Protocol
 //!
-//! See [`proto`] for the full grammar. A session:
+//! See [`proto`] for the full grammar.
+//! Each job plans with any sampler from the standard registry (`STEM`,
+//! `RSS`, `TwoPhase`, `PKA`, ...), selected by an optional trailing
+//! `SUBMIT` field and persisted in the journal. A session:
 //!
 //! ```text
 //! > SUBMIT alice rodinia 33 0 2 1

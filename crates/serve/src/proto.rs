@@ -4,13 +4,16 @@
 //! # Grammar (one request per line)
 //!
 //! ```text
-//! SUBMIT <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> [deadline_ms]
+//! SUBMIT <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> [deadline_ms [sampler]]
 //! STATUS <tenant> <job>
 //! RESULT <tenant> <job>
 //! CANCEL <tenant> <job>
 //! SHUTDOWN
 //! PING
 //! ```
+//!
+//! `deadline_ms` may be `-` (no deadline) when a `sampler` follows it;
+//! the sampler is any `standard_registry` name and defaults to `STEM`.
 //!
 //! Responses are a single `OK ...` / `ERR ...` line, except `RESULT`,
 //! which follows its `OK result` line with a payload terminated by `END`:
@@ -90,10 +93,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let rest: Vec<&str> = fields.collect();
     match verb {
         "SUBMIT" => {
-            if rest.len() != 6 && rest.len() != 7 {
+            if !(6..=8).contains(&rest.len()) {
                 return Err(format!(
                     "SUBMIT takes <tenant> <suite> <suite_seed> <workload_index> <reps> \
-                     <seed> [deadline_ms], got {} fields",
+                     <seed> [deadline_ms [sampler]], got {} fields",
                     rest.len()
                 ));
             }
@@ -111,10 +114,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 reps: u32::try_from(parse_u64(rest[4], "rep count")?)
                     .map_err(|_| format!("rep count {} too large", rest[4]))?,
                 seed: parse_u64(rest[5], "seed")?,
+                // `-` keeps the positional slot free for a sampler token.
                 deadline_ms: match rest.get(6) {
+                    Some(&"-") | None => None,
                     Some(d) => Some(parse_u64(d, "deadline")?),
-                    None => None,
                 },
+                sampler: rest.get(7).unwrap_or(&"STEM").to_string(),
             };
             spec.validate().map_err(|e| e.to_string())?;
             Ok(Request::Submit(spec))
@@ -192,12 +197,36 @@ mod tests {
                 assert_eq!(spec.reps, 2);
                 assert_eq!(spec.seed, 7);
                 assert_eq!(spec.deadline_ms, None);
+                assert_eq!(spec.sampler, "STEM", "sampler defaults to STEM");
             }
             other => panic!("wrong parse: {other:?}"),
         }
         let r = parse_request("SUBMIT t1 casio 5 1 3 9 250").expect("valid");
         match r {
-            Request::Submit(spec) => assert_eq!(spec.deadline_ms, Some(250)),
+            Request::Submit(spec) => {
+                assert_eq!(spec.deadline_ms, Some(250));
+                assert_eq!(spec.sampler, "STEM");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_accepts_a_sampler_with_or_without_a_deadline() {
+        let r = parse_request("SUBMIT t1 casio 5 1 3 9 250 RSS").expect("valid");
+        match r {
+            Request::Submit(spec) => {
+                assert_eq!(spec.deadline_ms, Some(250));
+                assert_eq!(spec.sampler, "RSS");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let r = parse_request("SUBMIT t1 casio 5 1 3 9 - TwoPhase").expect("valid");
+        match r {
+            Request::Submit(spec) => {
+                assert_eq!(spec.deadline_ms, None, "`-` means no deadline");
+                assert_eq!(spec.sampler, "TwoPhase");
+            }
             other => panic!("wrong parse: {other:?}"),
         }
     }
@@ -230,6 +259,8 @@ mod tests {
             "SUBMIT t1 mystery 1 0 2 7",
             "SUBMIT t1 rodinia 1 0 0 7",
             "SUBMIT bad tenant rodinia 1 0 2 7",
+            "SUBMIT t1 rodinia 1 0 2 7 - bad!sampler",
+            "SUBMIT t1 rodinia 1 0 2 7 250 RSS extra",
             "STATUS t1",
             "STATUS t1 notanumber",
             "SHUTDOWN please",

@@ -31,7 +31,8 @@ use crate::journal::{
 };
 use crate::proto::{parse_request, render_error, render_result_payload, Request};
 use gpu_sim::{SimCache, Simulator};
-use stem_core::{Pipeline, SnapshotError, StemConfig, StemError, StemRootSampler};
+use stem_baselines::standard_registry;
+use stem_core::{Pipeline, SamplerRegistry, SnapshotError, StemError};
 use stem_par::{Parallelism, Supervisor};
 
 /// Why a tenant-scoped lookup was refused.
@@ -111,6 +112,7 @@ struct Inner {
     state: Mutex<State>,
     work_ready: Condvar,
     cache: Arc<SimCache>,
+    registry: SamplerRegistry,
     shutdown: AtomicBool,
     paused: AtomicBool,
     recovery: RecoveryReport,
@@ -150,6 +152,11 @@ impl Inner {
     /// Admission control: the only way work enters the daemon.
     fn try_submit(&self, spec: JobSpec) -> Result<u64, StemError> {
         spec.validate()?;
+        // Reject unknown samplers at admission (the build is discarded;
+        // its error names the available registry entries) — a journaled
+        // job must never fail at dispatch time for a reason the daemon
+        // knew at submit time.
+        self.registry.build(&spec.sampler)?;
         let overload = |scope: &str, depth: usize, hint_mul: u64| StemError::Overloaded {
             scope: scope.to_string(),
             depth,
@@ -352,8 +359,12 @@ impl Inner {
         if let Some(faults) = &self.config.exec_faults {
             pipeline = pipeline.with_exec_faults(faults.clone());
         }
-        let sampler = StemRootSampler::new(StemConfig::default());
-        pipeline.resume_from(&sampler, std::slice::from_ref(&workload), &self.snapshot_path(id))
+        let sampler = self.registry.build(&spec.sampler)?;
+        pipeline.resume_from(
+            sampler.as_ref(),
+            std::slice::from_ref(&workload),
+            &self.snapshot_path(id),
+        )
     }
 
     /// Applies a finished run to the job record. Returns a backoff pause
@@ -557,6 +568,7 @@ impl Server {
             state: Mutex::new(State { jobs, queue, next_id, running: 0 }),
             work_ready: Condvar::new(),
             cache,
+            registry: standard_registry(),
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             recovery: RecoveryReport { re_admitted, quarantined },

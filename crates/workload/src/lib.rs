@@ -39,6 +39,7 @@ pub mod invocation;
 pub mod io;
 pub mod kernel;
 pub mod metrics;
+pub mod scenarios;
 pub mod suites;
 pub mod trace;
 

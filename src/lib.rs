@@ -6,10 +6,14 @@
 //! * [`core`] (`stem-core`) — the paper's contribution: the STEM error
 //!   model, ROOT hierarchical clustering, sampling plans and the
 //!   profile→sample→simulate pipeline.
-//! * [`baselines`] (`stem-baselines`) — PKA, Sieve, Photon, uniform random
-//!   and TBPoint samplers.
+//! * [`baselines`] (`stem-baselines`) — PKA, Sieve, Photon, uniform
+//!   random and TBPoint samplers, plus the Ekman-style RSS
+//!   (ranked-set, repeated subsampling) and two-phase (pilot + Neyman)
+//!   stratified baselines and the [`baselines::standard_registry`] that
+//!   builds any of them by name.
 //! * [`workload`] (`gpu-workload`) — the workload model plus synthetic
-//!   Rodinia / CASIO / HuggingFace suites.
+//!   Rodinia / CASIO / HuggingFace suites and the adversarial scenario
+//!   generators (phase drift, bursty interference, long-tail skew).
 //! * [`sim`] (`gpu-sim`) — the kernel-level GPU timing simulator with
 //!   configurable microarchitecture.
 //! * [`profile`] (`gpu-profile`) — NSYS/NCU/NVBit/BBV-style profilers and
@@ -69,8 +73,13 @@ pub mod prelude {
         ContextSchedule, InstructionMix, KernelClass, RuntimeContext, SuiteKind, Workload,
         WorkloadBuilder,
     };
+    pub use gpu_workload::scenarios::{
+        adversarial_suite, bursty_interference, longtail_skew, phase_drift, scenario_by_name,
+        SCENARIO_NAMES,
+    };
     pub use stem_baselines::{
-        PhotonSampler, PkaSampler, RandomSampler, SieveSampler, TbPointSampler,
+        standard_registry, PhotonSampler, PkaSampler, RandomSampler, RssSampler, SieveSampler,
+        TbPointSampler, TwoPhaseSampler,
     };
     pub use gpu_profile::{
         DataQualityReport, ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord,
@@ -79,8 +88,8 @@ pub mod prelude {
     pub use stem_core::sampler::KernelSampler;
     pub use stem_par::{ExecLog, Parallelism, Supervisor, TaskFailure};
     pub use stem_core::{
-        CampaignReport, Pipeline, QuarantinedSnapshot, RecoveryPolicy, SamplingPlan,
-        SnapshotError, StemConfig, StemError, StemRootSampler,
+        CampaignReport, Pipeline, QuarantinedSnapshot, RecoveryPolicy, SamplerRegistry,
+        SamplingPlan, SnapshotError, StemConfig, StemError, StemRootSampler,
     };
     pub use stem_serve::{JobPhase, JobSpec, ServeConfig, Server, SuiteId};
 }

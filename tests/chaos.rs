@@ -135,6 +135,43 @@ fn fail_fast_policy_refuses_every_fault_class() {
     }
 }
 
+/// Adversarial scenarios under trace damage: a phase-drift workload —
+/// built so early and late invocations of one kernel live in different
+/// regimes — profiled, corrupted with the composed fault mix, and pushed
+/// through repair. The degraded CI must still cover the clean-trace
+/// ground truth, and the report must name the damage. This is the same
+/// cell the calibration matrix scores (`adv/phase_drift+faults` in
+/// `coverage_summary.json`), held here as a direct tier-1 gate.
+#[test]
+fn damaged_adversarial_traces_keep_honest_degraded_bounds() {
+    let sampler = StemRootSampler::new(StemConfig::default());
+    let pipe = pipeline(2);
+    for w in [phase_drift(21), bursty_interference(21), longtail_skew(21)] {
+        let records = clean_records(&w);
+        let plan = FaultPlan::new(0xADE5)
+            .with(Fault::Drop { fraction: 0.05 })
+            .with(Fault::Duplicate { fraction: 0.05 })
+            .with(Fault::NanTime { fraction: 0.02 })
+            .with(Fault::Reorder { fraction: 0.1 });
+        let (summary, report) = pipe
+            .run_from_profile(&sampler, &w, &plan.apply(&records))
+            .unwrap_or_else(|e| panic!("{}: damaged trace unrecoverable: {e}", w.name()));
+        assert!(
+            !report.is_clean() && report.issue_count() > 0,
+            "{}: corruption went undetected: {report}",
+            w.name()
+        );
+        let bound_pct = CLEAN_SLACK_PCT + 100.0 * report.degraded_fraction();
+        assert!(
+            summary.mean_error_pct < bound_pct,
+            "{}: error {:.2}% escapes the degraded bound {:.2}% ({report})",
+            w.name(),
+            summary.mean_error_pct,
+            bound_pct
+        );
+    }
+}
+
 #[test]
 fn chaos_runs_replay_deterministically() {
     let sampler = StemRootSampler::new(StemConfig::default());

@@ -122,6 +122,52 @@ fn killed_campaign_resumes_bit_identical_across_thread_counts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The checkpointing machinery must be sampler-agnostic: a campaign
+/// planned by a new baseline (RSS) over an adversarial scenario
+/// (long-tail skew) dies after one unit and resumes bit-identically at
+/// threads 1 and 4. The snapshot fingerprint includes the sampler name,
+/// so a snapshot written under one sampler must never feed another.
+#[test]
+fn new_sampler_on_adversarial_scenario_resumes_bit_identical() {
+    let dir = scratch("adversarial-resume");
+    let workloads = vec![longtail_skew(33), bursty_interference(33)];
+    let sampler = RssSampler::new();
+    let baseline = pipeline(1)
+        .run_campaign(&sampler, &workloads, &dir.join("reference.snap"))
+        .expect("reference campaign");
+    assert_eq!(baseline.summaries.len(), workloads.len());
+
+    for threads in [1usize, 4] {
+        let snap = dir.join(format!("adv-t{threads}.snap"));
+        let err = pipeline(threads)
+            .with_exec_faults(ExecFaultPlan::new(0xAD5A).with_kill_after_units(1))
+            .run_campaign(&sampler, &workloads, &snap)
+            .expect_err("simulated kill must surface");
+        match err {
+            StemError::Interrupted { completed_units } => assert_eq!(completed_units, 1),
+            other => panic!("threads {threads}: wrong error class: {other}"),
+        }
+        let resumed = pipeline(threads)
+            .resume_from(&sampler, &workloads, &snap)
+            .expect("resume completes");
+        assert_eq!(
+            resumed.summaries, baseline.summaries,
+            "threads {threads}: resumed bits differ under RSS on adversarial workloads"
+        );
+        assert!(resumed.quarantined.is_none());
+
+        // The same snapshot under a different sampler is a different
+        // campaign: the fingerprint must quarantine it, not resume it.
+        let foreign = pipeline(threads)
+            .resume_from(&TwoPhaseSampler::new(), &workloads, &snap)
+            .expect("foreign-sampler resume recomputes");
+        let quarantined = foreign.quarantined.expect("sampler mismatch must quarantine");
+        assert_eq!(quarantined.reason, SnapshotError::FingerprintMismatch);
+        assert_eq!(foreign.resumed_units, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn recovered_worker_panics_are_output_invisible() {
     let dir = scratch("panic-recovery");

@@ -143,6 +143,36 @@ fn chaos_path_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The new sampling baselines must hold the bit-identical promise on the
+/// adversarial scenarios too: RSS and two-phase plans and evaluations on
+/// the phase-drift workload — built to put every rank stratum and pilot
+/// under non-stationary drift — at threads ∈ {1, 4} versus serial.
+#[test]
+fn new_samplers_on_adversarial_scenarios_are_bit_identical() {
+    let w = phase_drift(33);
+    let samplers: Vec<Box<dyn KernelSampler>> =
+        vec![Box::new(RssSampler::new()), Box::new(TwoPhaseSampler::new())];
+    for sampler in &samplers {
+        let serial_plan = sampler.plan(&w, BASE_SEED);
+        let serial = pipeline_with(Parallelism::serial()).run(sampler.as_ref(), &w);
+        for threads in [1usize, 4] {
+            assert_eq!(
+                sampler.plan(&w, BASE_SEED),
+                serial_plan,
+                "{}: plan differs at threads = {threads}",
+                sampler.name()
+            );
+            let par = pipeline_with(Parallelism::with_threads(threads)).run(sampler.as_ref(), &w);
+            assert_eq!(
+                par,
+                serial,
+                "{}: evaluation differs at threads = {threads}",
+                sampler.name()
+            );
+        }
+    }
+}
+
 /// `threads = 1` (and `Parallelism::serial()`) must reproduce the pre-`stem-par`
 /// behavior exactly: per-rep results equal to a manual [`evaluate_once`] loop
 /// over the documented rep-seed schedule. This pins the serial goldens.

@@ -52,6 +52,7 @@ fn suite_specs() -> Vec<JobSpec> {
         reps: 2,
         seed,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     vec![
         spec("alice", SuiteId::Rodinia, 7, 11),   // kmeans
@@ -61,16 +62,21 @@ fn suite_specs() -> Vec<JobSpec> {
 }
 
 /// Ground truth: the same job run as a plain serial [`Pipeline`]
-/// campaign, rendered through the protocol's payload formatter.
+/// campaign, with the spec's sampler built through the same registry the
+/// daemon dispatches from, rendered through the payload formatter.
 fn serial_payload(spec: &JobSpec, dir: &Path, tag: &str) -> String {
-    let sampler = StemRootSampler::new(StemConfig::default());
+    let sampler = standard_registry().build(&spec.sampler).expect("registered sampler");
     let workload = spec.workload().expect("spec workload");
     let report = Pipeline::new(Simulator::new(GpuConfig::rtx2080()))
         .with_reps(spec.reps)
         .expect("positive reps")
         .with_seed(spec.seed)
         .with_parallelism(Parallelism::with_threads(1))
-        .run_campaign(&sampler, std::slice::from_ref(&workload), &dir.join(format!("{tag}.snap")))
+        .run_campaign(
+            sampler.as_ref(),
+            std::slice::from_ref(&workload),
+            &dir.join(format!("{tag}.snap")),
+        )
         .expect("serial reference campaign");
     render_result_payload(report.summaries.first().expect("one summary"))
 }
@@ -221,6 +227,7 @@ fn concurrent_tenants_over_the_wire_match_serial_pipeline() {
         reps: 2,
         seed: 21,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     let mut bob = alice.clone();
     bob.tenant = "bob".to_string();
@@ -291,6 +298,7 @@ fn overload_rejections_are_typed_and_admitted_jobs_complete() {
         reps: 1,
         seed,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     let t1 = server.try_submit(spec("t1", 1)).expect("first job admitted");
     match server.try_submit(spec("t1", 2)) {
@@ -361,6 +369,7 @@ fn corrupt_journal_is_quarantined_and_jobs_recompute_the_same_bits() {
         reps: 2,
         seed: 31,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     let first = Server::start(ServeConfig::new(&dir).with_workers(1, 1)).expect("daemon starts");
     let id = first.try_submit(spec.clone()).expect("admitted");
@@ -433,6 +442,7 @@ fn memo_cache_stays_bounded_across_a_warm_multi_campaign_run() {
         reps: 1,
         seed,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     let mut payloads = Vec::new();
     for seed in [41u64, 41, 42] {
@@ -459,6 +469,61 @@ fn memo_cache_stays_bounded_across_a_warm_multi_campaign_run() {
         "identical specs through a hot, evicting cache must produce identical bits"
     );
     assert_ne!(payloads[0], payloads[2], "different seeds must differ");
+    server.shutdown();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_job_samplers_dispatch_through_the_registry() {
+    let dir = scratch("samplers");
+    let spec = JobSpec {
+        tenant: "alice".to_string(),
+        suite: SuiteId::Rodinia,
+        suite_seed: 33,
+        workload_index: 7, // kmeans
+        reps: 2,
+        seed: 61,
+        deadline_ms: None,
+        sampler: "RSS".to_string(),
+    };
+    let rss_ref = serial_payload(&spec, &dir, "rss-ref");
+    let server = Server::start(ServeConfig::new(&dir).with_workers(1, 1)).expect("daemon starts");
+
+    // An unknown sampler is refused at admission with the registry's
+    // typed error — never journaled, never failing later at dispatch.
+    let mut bad = spec.clone();
+    bad.sampler = "Oracle".to_string();
+    match server.try_submit(bad) {
+        Err(StemError::InvalidConfig(msg)) => {
+            assert!(msg.contains("unknown sampler"), "error must name the problem: {msg}");
+            assert!(msg.contains("RSS"), "error must list the registry: {msg}");
+        }
+        other => panic!("unknown sampler must be refused: {other:?}"),
+    }
+
+    // An RSS job over the wire: 8-field SUBMIT with `-` in the deadline
+    // slot. The payload must be bit-identical to the serial pipeline run
+    // of the same spec (method label included).
+    let mut wire = Wire::connect(server.addr());
+    assert_eq!(wire.roundtrip("SUBMIT alice rodinia 33 7 2 61 - RSS\n"), "OK job 0\n");
+    wire.wait_done("alice", 0);
+    assert_eq!(wire.roundtrip("RESULT alice 0\n"), format!("OK result\n{rss_ref}"));
+
+    // A TwoPhase job through in-process admission matches its own serial
+    // reference too — the registry covers every sampler, not just RSS.
+    let mut tp = spec.clone();
+    tp.sampler = "TwoPhase".to_string();
+    let tp_ref = serial_payload(&tp, &dir, "tp-ref");
+    let id = server.try_submit(tp.clone()).expect("TwoPhase admitted");
+    assert!(server.wait_idle(IDLE), "TwoPhase job must finish");
+    let payload = server
+        .result_payload(&tp.tenant, id)
+        .expect("own job")
+        .expect("payload present");
+    assert_eq!(payload, tp_ref, "TwoPhase daemon payload bits differ from serial");
+    assert_ne!(payload, rss_ref, "different samplers must not share payloads");
+    drop(wire);
     server.shutdown();
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
@@ -522,6 +587,7 @@ fn wire_chaos_never_takes_the_daemon_down() {
         reps: 1,
         seed: 51,
         deadline_ms: None,
+        sampler: "STEM".to_string(),
     };
     let reference = serial_payload(&spec, &dir, "post-chaos-ref");
     assert_eq!(wire.roundtrip("RESULT alice 0\n"), format!("OK result\n{reference}"));
