@@ -15,6 +15,7 @@
 //! results obey the workspace determinism contract, so two runs differ
 //! only in the wall-clock fields.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -227,8 +228,8 @@ fn run() -> Result<(), StemError> {
     }
     json.push_str("  ]\n}\n");
 
-    std::fs::write(&out, &json)
-        .map_err(|e| StemError::Snapshot(SnapshotError::Io(format!("cannot write {out}: {e}"))))?;
+    stem_storage::write_atomic(&stem_storage::RealFs, Path::new(&out), &json)
+        .map_err(|e| StemError::Snapshot(SnapshotError::Io(e)))?;
     eprintln!(
         "perf: total {:.3} s -> {out}",
         total_ns as f64 / 1e9

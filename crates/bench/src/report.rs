@@ -96,15 +96,18 @@ pub fn write_result(name: &str, contents: &str) -> PathBuf {
     write_result_in(&results_dir(), name, contents)
 }
 
-/// Writes `contents` to `dir/name`, creating the directory.
+/// Writes `contents` to `dir/name`, creating the directory. The write
+/// is atomic (tmp + fsync + rename), so a crash mid-bench never leaves
+/// a torn committed result behind.
 ///
 /// # Panics
 ///
 /// Panics if the directory or file cannot be written.
 pub fn write_result_in(dir: &Path, name: &str, contents: &str) -> PathBuf {
-    fs::create_dir_all(dir).expect("create results directory");
+    let storage = stem_storage::RealFs;
+    stem_storage::Storage::create_dir_all(&storage, dir).expect("create results directory");
     let path = dir.join(name);
-    fs::write(&path, contents).expect("write result file");
+    stem_storage::write_atomic(&storage, &path, contents).expect("write result file");
     path
 }
 

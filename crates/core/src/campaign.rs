@@ -32,14 +32,22 @@
 //! every workload's name and size; the checksum covers the whole body.
 //! A snapshot that fails *any* check — header, version, fingerprint,
 //! checksum, line grammar, unit range — is never trusted and never
-//! deleted: [`Pipeline::resume_from`] renames it to
-//! `<path>.quarantined`, reports it in the [`CampaignReport`], and
-//! recomputes from scratch. Wrong results are impossible; the worst
+//! deleted: [`Pipeline::resume_from`] renames it to the first free
+//! `<path>.quarantined[.N]` name, reports it in the [`CampaignReport`],
+//! and recomputes from scratch. Wrong results are impossible; the worst
 //! corruption can do is cost the saved work.
+//!
+//! All durable writes go through the pipeline's
+//! [`Storage`](stem_storage::Storage) (see
+//! [`Pipeline::with_storage`]): the real filesystem by default, the
+//! chaos crate's fault-injecting `FaultFs` under test. `stem-storage`'s
+//! `write_atomic` adds an fsync of the tmp file before the rename and a
+//! best-effort parent-directory fsync after it, so a power loss cannot
+//! tear a snapshot or (modulo the documented directory-sync caveat)
+//! silently un-commit one.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -51,6 +59,7 @@ use crate::sampler::KernelSampler;
 use gpu_sim::SimCache;
 use gpu_workload::Workload;
 use stem_par::{supervised_map_indexed, ExecLog, Parallelism, TaskFailure};
+use stem_storage::{Storage, StorageError};
 
 /// First token of the snapshot header; the version tag follows it.
 const HEADER_PREFIX: &str = "STEM-CAMPAIGN-SNAPSHOT";
@@ -60,8 +69,10 @@ const HEADER: &str = "STEM-CAMPAIGN-SNAPSHOT v1";
 /// Why a snapshot was rejected (and quarantined) or could not be written.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// Filesystem failure, stringified (`io::Error` is not `Clone`).
-    Io(String),
+    /// Storage failure, with the operation and path that failed (the
+    /// underlying `io::Error` is not `Clone`, so [`StorageError`] keeps
+    /// its kind and text instead).
+    Io(StorageError),
     /// The file does not start with the snapshot header.
     MissingHeader,
     /// The header names a version this build does not understand.
@@ -86,7 +97,7 @@ pub enum SnapshotError {
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::Io(msg) => write!(f, "snapshot io error: {msg}"),
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
             SnapshotError::MissingHeader => f.write_str("missing snapshot header"),
             SnapshotError::VersionMismatch { found } => {
                 write!(f, "unsupported snapshot version: {found:?} (expected {HEADER:?})")
@@ -102,13 +113,28 @@ impl std::fmt::Display for SnapshotError {
     }
 }
 
-impl std::error::Error for SnapshotError {}
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SnapshotError {
+    fn from(e: StorageError) -> Self {
+        SnapshotError::Io(e)
+    }
+}
 
 /// A rejected snapshot, set aside rather than deleted so the evidence
 /// survives for inspection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuarantinedSnapshot {
-    /// Where the rejected file was moved (`<snapshot>.quarantined`).
+    /// Where the rejected file was moved — the first free
+    /// `<snapshot>.quarantined[.N]` name, so repeated corruption never
+    /// overwrites earlier evidence.
     pub path: PathBuf,
     /// Why it was rejected.
     pub reason: SnapshotError,
@@ -128,6 +154,9 @@ pub struct CampaignReport {
     pub exec_log: ExecLog,
     /// A snapshot that failed validation and was set aside, if any.
     pub quarantined: Option<QuarantinedSnapshot>,
+    /// Orphan `.tmp` files from an interrupted write, removed by
+    /// [`Pipeline::resume_from`] before resuming.
+    pub swept_tmp: Vec<PathBuf>,
 }
 
 /// One persisted unit: the numeric fields of an [`EvalResult`] (the
@@ -289,28 +318,22 @@ fn validate_snapshot(
     Ok(units)
 }
 
-/// Appends a suffix to a path's file name (`foo.snap` → `foo.snap.tmp`).
-fn sibling(path: &Path, suffix: &str) -> PathBuf {
-    let mut name = path.as_os_str().to_owned();
-    name.push(suffix);
-    PathBuf::from(name)
+/// Atomically replaces `path` with `text` under the durability
+/// discipline of [`stem_storage::write_atomic`]: tmp write → tmp fsync →
+/// `rename` → best-effort parent-dir fsync. A kill at any boundary
+/// leaves the previous snapshot or the new one, never a torn file.
+fn write_snapshot_atomic(
+    storage: &dyn Storage,
+    path: &Path,
+    text: &str,
+) -> Result<(), SnapshotError> {
+    stem_storage::write_atomic(storage, path, text).map_err(SnapshotError::Io)
 }
 
-/// Atomically replaces `path` with `text`: write a sibling tmp file, then
-/// `rename` over the target. A kill between the two syscalls leaves the
-/// previous snapshot intact; a kill mid-write leaves only a tmp file the
-/// next run ignores.
-fn write_snapshot_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
-    let tmp = sibling(path, ".tmp");
-    fs::write(&tmp, text).map_err(|e| SnapshotError::Io(e.to_string()))?;
-    fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
-}
-
-/// Moves a rejected snapshot aside (never deletes evidence).
-fn quarantine(path: &Path) -> Result<PathBuf, SnapshotError> {
-    let target = sibling(path, ".quarantined");
-    fs::rename(path, &target).map_err(|e| SnapshotError::Io(e.to_string()))?;
-    Ok(target)
+/// Moves a rejected snapshot aside to the first free
+/// `<path>.quarantined[.N]` name (never deletes or overwrites evidence).
+fn quarantine(storage: &dyn Storage, path: &Path) -> Result<PathBuf, SnapshotError> {
+    stem_storage::quarantine(storage, path).map_err(SnapshotError::Io)
 }
 
 /// Locks the shared campaign state, recovering from poisoning: the map
@@ -374,7 +397,7 @@ impl Pipeline {
         workloads: &[Workload],
         snapshot_path: &Path,
     ) -> Result<CampaignReport, StemError> {
-        self.campaign(sampler, workloads, snapshot_path, BTreeMap::new(), None)
+        self.campaign(sampler, workloads, snapshot_path, BTreeMap::new(), None, Vec::new())
     }
 
     /// Resumes a campaign from `snapshot_path`: completed units are
@@ -385,9 +408,12 @@ impl Pipeline {
     /// A missing snapshot file simply starts a fresh campaign. A snapshot
     /// that exists but fails validation — damaged header, stale version,
     /// flipped byte, truncated tail, wrong campaign fingerprint — is
-    /// **quarantined** (renamed to `<path>.quarantined`), reported in
+    /// **quarantined** (renamed to the first free
+    /// `<path>.quarantined[.N]` name), reported in
     /// [`CampaignReport::quarantined`], and the campaign recomputes from
     /// scratch: a corrupt checkpoint can cost time, never correctness.
+    /// An orphan `<path>.tmp` left by a crash mid-write is swept first
+    /// and reported in [`CampaignReport::swept_tmp`].
     ///
     /// # Errors
     ///
@@ -399,20 +425,27 @@ impl Pipeline {
         workloads: &[Workload],
         snapshot_path: &Path,
     ) -> Result<CampaignReport, StemError> {
+        let storage = &*self.storage;
         let fingerprint = self.campaign_fingerprint(sampler, workloads);
         let total_units = workloads.len() as u64 * self.reps as u64;
-        let (done, quarantined) = match fs::read_to_string(snapshot_path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (BTreeMap::new(), None),
-            Err(e) => return Err(SnapshotError::Io(e.to_string()).into()),
+        // A crash between the tmp write and the rename leaves an orphan
+        // the atomic-write discipline will never look at again: sweep it
+        // so interrupted runs do not accrete garbage next to snapshots.
+        let swept = stem_storage::sweep_tmp_sibling(storage, snapshot_path)
+            .map_err(SnapshotError::Io)?;
+        let (done, quarantined) = match storage.read_to_string(snapshot_path) {
+            Err(e) if e.is_not_found() => (BTreeMap::new(), None),
+            Err(e) => return Err(SnapshotError::Io(e).into()),
             Ok(text) => match validate_snapshot(&text, fingerprint, total_units) {
                 Ok(units) => (units, None),
                 Err(reason) => {
-                    let path = quarantine(snapshot_path)?;
+                    let path = quarantine(storage, snapshot_path)?;
                     (BTreeMap::new(), Some(QuarantinedSnapshot { path, reason }))
                 }
             },
         };
-        self.campaign(sampler, workloads, snapshot_path, done, quarantined)
+        let swept_tmp: Vec<PathBuf> = swept.into_iter().collect();
+        self.campaign(sampler, workloads, snapshot_path, done, quarantined, swept_tmp)
     }
 
     /// The campaign engine shared by fresh runs and resumes.
@@ -423,6 +456,7 @@ impl Pipeline {
         snapshot_path: &Path,
         done: BTreeMap<u64, UnitRecord>,
         quarantined: Option<QuarantinedSnapshot>,
+        swept_tmp: Vec<PathBuf>,
     ) -> Result<CampaignReport, StemError> {
         if workloads.is_empty() {
             return Err(StemError::InvalidConfig(
@@ -511,7 +545,11 @@ impl Pipeline {
                 // cannot rename an older snapshot over a newer one.
                 let mut st = lock_state(&state);
                 st.insert(unit, record);
-                write_snapshot_atomic(snapshot_path, &serialize_snapshot(fingerprint, &st))?;
+                write_snapshot_atomic(
+                    &*self.storage,
+                    snapshot_path,
+                    &serialize_snapshot(fingerprint, &st),
+                )?;
                 drop(st);
                 executed.fetch_add(1, Ordering::SeqCst);
                 Ok(())
@@ -587,6 +625,7 @@ impl Pipeline {
             executed_units,
             exec_log,
             quarantined,
+            swept_tmp,
         })
     }
 }
@@ -681,16 +720,26 @@ mod tests {
     #[test]
     fn atomic_write_then_quarantine() {
         let dir = std::env::temp_dir().join("stem-campaign-test-atomic");
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("temp dir");
+        let storage = stem_storage::RealFs;
         let path = dir.join("campaign.snap");
         let text = serialize_snapshot(9, &sample_map());
-        write_snapshot_atomic(&path, &text).expect("atomic write");
+        write_snapshot_atomic(&storage, &path, &text).expect("atomic write");
         assert_eq!(std::fs::read_to_string(&path).expect("written"), text);
-        assert!(!sibling(&path, ".tmp").exists(), "tmp must be renamed away");
-        let q = quarantine(&path).expect("quarantine");
+        assert!(
+            !stem_storage::sibling(&path, ".tmp").exists(),
+            "tmp must be renamed away"
+        );
+        let q = quarantine(&storage, &path).expect("quarantine");
         assert!(!path.exists());
         assert!(q.exists());
         assert!(q.to_string_lossy().ends_with(".quarantined"));
+        // A second rejected snapshot must not overwrite the evidence.
+        write_snapshot_atomic(&storage, &path, &text).expect("second write");
+        let q2 = quarantine(&storage, &path).expect("second quarantine");
+        assert!(q2.to_string_lossy().ends_with(".quarantined.1"));
+        assert!(q.exists() && q2.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,7 @@ use gpu_workload::Workload;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use stem_par::{Parallelism, Supervisor};
+use stem_storage::{RealFs, Storage};
 
 /// Convenience driver binding a target simulator and experiment settings.
 ///
@@ -43,6 +44,7 @@ pub struct Pipeline {
     pub(crate) exec_faults: Option<ExecFaultPlan>,
     pub(crate) shared_cache: Option<Arc<SimCache>>,
     pub(crate) cancel: Option<Arc<AtomicBool>>,
+    pub(crate) storage: Arc<dyn Storage>,
 }
 
 impl Pipeline {
@@ -62,6 +64,7 @@ impl Pipeline {
             exec_faults: None,
             shared_cache: None,
             cancel: None,
+            storage: Arc::new(RealFs),
         }
     }
 
@@ -137,6 +140,20 @@ impl Pipeline {
     pub fn with_cancel_flag(mut self, cancel: Arc<AtomicBool>) -> Self {
         self.cancel = Some(cancel);
         self
+    }
+
+    /// Overrides the [`Storage`] behind every durable write this
+    /// pipeline performs (campaign snapshots). Defaults to the real
+    /// filesystem ([`RealFs`]); the chaos crate's `FaultFs` plugs in
+    /// here to drive the crash-point explorer and storage fault sweeps.
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// The storage behind this pipeline's durable writes.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
     }
 
     /// The thread budget in effect.

@@ -22,6 +22,7 @@
 
 pub mod bbv;
 pub mod chaos;
+pub mod chaos_fs;
 pub mod csv;
 pub mod exec_time;
 pub mod features;
@@ -36,6 +37,7 @@ pub use chaos::{
     ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord, WireExchange, WireFault,
     WireFaultPlan,
 };
+pub use chaos_fs::{CrashMode, FaultFs, StorageFault, StorageFaultPlan, SyscallRecord};
 pub use csv::{ParseCsvError, WriteCsvError};
 pub use exec_time::ExecTimeProfiler;
 pub use features::{FeatureProfiler, PKA_FEATURE_COUNT};

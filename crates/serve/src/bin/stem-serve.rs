@@ -81,6 +81,9 @@ fn run() -> Result<(), StemError> {
     if let Some(q) = &recovery.quarantined {
         println!("quarantined corrupt journal at {}", q.path.display());
     }
+    if !recovery.swept_tmp.is_empty() {
+        println!("swept {} orphan tmp file(s) from the journal dir", recovery.swept_tmp.len());
+    }
     // Serve until a client issues SHUTDOWN; `shutdown` joins the worker
     // pool and acceptor once the wire flips the flag.
     server.shutdown_on_request();

@@ -2,11 +2,13 @@
 //! shape, journal location, and the chaos test hook.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use gpu_profile::ExecFaultPlan;
 use gpu_sim::GpuConfig;
 use stem_core::StemError;
+use stem_storage::{RealFs, Storage};
 
 /// Everything a [`crate::Server`] needs to run. Build with
 /// [`ServeConfig::new`] and override fields builder-style; `start`
@@ -59,6 +61,11 @@ pub struct ServeConfig {
     /// Chaos hook: runtime faults (worker panics, simulated process
     /// kill) injected into every campaign this daemon runs.
     pub exec_faults: Option<ExecFaultPlan>,
+    /// The [`Storage`] behind every durable write — the journal, the
+    /// per-job campaign snapshots, and the startup tmp sweep. The real
+    /// filesystem by default; the chaos crate's `FaultFs` plugs in here
+    /// for storage fault sweeps and the crash-point explorer.
+    pub storage: Arc<dyn Storage>,
 }
 
 impl ServeConfig {
@@ -84,6 +91,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(2),
             max_line_len: 512,
             exec_faults: None,
+            storage: Arc::new(RealFs),
         }
     }
 
@@ -117,6 +125,13 @@ impl ServeConfig {
     /// Installs a runtime fault plan (chaos test hook).
     pub fn with_exec_faults(mut self, faults: ExecFaultPlan) -> Self {
         self.exec_faults = Some(faults);
+        self
+    }
+
+    /// Overrides the storage behind every durable write (chaos test
+    /// hook; defaults to the real filesystem).
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
         self
     }
 

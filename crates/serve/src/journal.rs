@@ -26,11 +26,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::job::{JobSpec, SuiteId};
 use stem_core::SnapshotError;
+use stem_storage::Storage;
 
 /// First token of the journal header; the version tag follows it.
 const HEADER_PREFIX: &str = "STEM-SERVE-JOURNAL";
@@ -181,26 +181,24 @@ pub(crate) fn parse_journal(
     Ok((fingerprint, jobs))
 }
 
-/// Appends a suffix to a path's file name.
-fn sibling(path: &Path, suffix: &str) -> PathBuf {
-    let mut name = path.as_os_str().to_owned();
-    name.push(suffix);
-    PathBuf::from(name)
-}
-
-/// Atomically replaces the journal: write a sibling tmp file, then
-/// `rename` over the target, so a kill at any instant leaves either the
-/// previous journal or the new one, never a torn file.
-pub(crate) fn write_journal_atomic(path: &Path, text: &str) -> Result<(), SnapshotError> {
-    let tmp = sibling(path, ".tmp");
-    fs::write(&tmp, text).map_err(|e| SnapshotError::Io(e.to_string()))?;
-    fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))
+/// Atomically replaces the journal under the durability discipline of
+/// [`stem_storage::write_atomic`]: tmp write → tmp fsync → `rename` →
+/// best-effort parent-dir fsync, so a kill at any instant leaves either
+/// the previous journal or the new one, never a torn file.
+pub(crate) fn write_journal_atomic(
+    storage: &dyn Storage,
+    path: &Path,
+    text: &str,
+) -> Result<(), SnapshotError> {
+    stem_storage::write_atomic(storage, path, text).map_err(SnapshotError::Io)
 }
 
 /// A journal that failed validation and was set aside, never trusted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuarantinedJournal {
-    /// Where the rejected file was moved (`<journal>.quarantined`).
+    /// Where the rejected file was moved — the first free
+    /// `<journal>.quarantined[.N]` name, so repeated corruption never
+    /// overwrites earlier evidence.
     pub path: PathBuf,
     /// Why it was rejected.
     pub reason: SnapshotError,
@@ -208,23 +206,23 @@ pub struct QuarantinedJournal {
 
 /// Loads the journal at `path`, validating it against this daemon's
 /// `fingerprint`. A missing file is an empty journal; a file failing any
-/// check is renamed to `<path>.quarantined` and reported, and the daemon
-/// starts with an empty job set (re-submitted jobs still resume from
-/// their per-job snapshots — the journal never holds results).
+/// check is renamed to the first free `<path>.quarantined[.N]` name and
+/// reported, and the daemon starts with an empty job set (re-submitted
+/// jobs still resume from their per-job snapshots — the journal never
+/// holds results).
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Io`] only when the file exists but cannot be
 /// read or quarantined.
 pub(crate) fn load_journal(
+    storage: &dyn Storage,
     path: &Path,
     fingerprint: u64,
 ) -> Result<(BTreeMap<u64, JobSpec>, Option<QuarantinedJournal>), SnapshotError> {
-    let text = match fs::read_to_string(path) {
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok((BTreeMap::new(), None))
-        }
-        Err(e) => return Err(SnapshotError::Io(e.to_string())),
+    let text = match storage.read_to_string(path) {
+        Err(e) if e.is_not_found() => return Ok((BTreeMap::new(), None)),
+        Err(e) => return Err(SnapshotError::Io(e)),
         Ok(text) => text,
     };
     let verdict = parse_journal(&text).and_then(|(fp, jobs)| {
@@ -237,8 +235,7 @@ pub(crate) fn load_journal(
     match verdict {
         Ok(jobs) => Ok((jobs, None)),
         Err(reason) => {
-            let target = sibling(path, ".quarantined");
-            fs::rename(path, &target).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            let target = stem_storage::quarantine(storage, path).map_err(SnapshotError::Io)?;
             Ok((BTreeMap::new(), Some(QuarantinedJournal { path: target, reason })))
         }
     }
@@ -247,6 +244,8 @@ pub(crate) fn load_journal(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use stem_storage::{sibling, RealFs};
 
     fn spec(tenant: &str, idx: usize) -> JobSpec {
         JobSpec {
@@ -327,31 +326,36 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("serve.journal");
+        let storage = RealFs;
 
         // Missing file: empty journal, nothing quarantined.
-        let (empty, q) = load_journal(&path, 7).expect("missing ok");
+        let (empty, q) = load_journal(&storage, &path, 7).expect("missing ok");
         assert!(empty.is_empty() && q.is_none());
 
         // Valid file, matching fingerprint.
-        write_journal_atomic(&path, &serialize_journal(7, &jobs())).expect("write");
+        write_journal_atomic(&storage, &path, &serialize_journal(7, &jobs())).expect("write");
         assert!(!sibling(&path, ".tmp").exists(), "tmp must be renamed away");
-        let (loaded, q) = load_journal(&path, 7).expect("load");
+        let (loaded, q) = load_journal(&storage, &path, 7).expect("load");
         assert_eq!(loaded, jobs());
         assert!(q.is_none());
 
         // Foreign fingerprint: quarantined, empty start.
-        let (loaded, q) = load_journal(&path, 8).expect("load");
+        let (loaded, q) = load_journal(&storage, &path, 8).expect("load");
         assert!(loaded.is_empty());
         let q = q.expect("quarantined");
         assert_eq!(q.reason, SnapshotError::FingerprintMismatch);
         assert!(q.path.exists());
         assert!(!path.exists());
+        assert!(q.path.to_string_lossy().ends_with(".quarantined"));
 
-        // Corrupt bytes: quarantined too.
+        // Corrupt bytes: quarantined too — to a uniquified name, so the
+        // first piece of evidence is never overwritten.
         fs::write(&path, "STEM-SERVE-JOURNAL v1\ngarbage\n").expect("write");
-        let (loaded, q) = load_journal(&path, 7).expect("load");
+        let (loaded, q2) = load_journal(&storage, &path, 7).expect("load");
         assert!(loaded.is_empty());
-        assert!(q.expect("quarantined").path.to_string_lossy().ends_with(".quarantined"));
+        let q2 = q2.expect("quarantined");
+        assert!(q2.path.to_string_lossy().ends_with(".quarantined.1"), "{:?}", q2.path);
+        assert!(q.path.exists() && q2.path.exists(), "both evidence files retained");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,6 +34,7 @@ use gpu_sim::{SimCache, Simulator};
 use stem_baselines::standard_registry;
 use stem_core::{Pipeline, SamplerRegistry, SnapshotError, StemError};
 use stem_par::{Parallelism, Supervisor};
+use stem_storage::{StorageError, StorageOp};
 
 /// Why a tenant-scoped lookup was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,9 @@ pub struct RecoveryReport {
     pub re_admitted: Vec<u64>,
     /// A journal that failed validation and was set aside, if any.
     pub quarantined: Option<QuarantinedJournal>,
+    /// Orphan `*.tmp` files a crash mid-write left in the journal
+    /// directory, removed before recovery (sorted).
+    pub swept_tmp: Vec<PathBuf>,
 }
 
 /// One job's full in-daemon state.
@@ -116,6 +120,10 @@ struct Inner {
     shutdown: AtomicBool,
     paused: AtomicBool,
     recovery: RecoveryReport,
+    /// Journal writes that failed after admission (typed degradation:
+    /// the daemon keeps serving on a stale-but-valid journal and the
+    /// next successful persist catches it up; see `persist_journal`).
+    journal_write_failures: AtomicU64,
 }
 
 /// Locks daemon state, recovering from poisoning: every mutation is
@@ -134,7 +142,14 @@ fn lock_state(m: &Mutex<State>) -> MutexGuard<'_, State> {
 impl Inner {
     /// Serializes the durable subset of `jobs` (everything except
     /// cancelled and failed jobs, which must not be re-run on restart)
-    /// and writes it atomically.
+    /// and writes it atomically through the configured storage.
+    ///
+    /// A failure is typed degradation, not death: the on-disk journal
+    /// stays the previous *valid* one (the write is atomic), so the
+    /// worst case is a stale job set on restart — re-running a spec
+    /// recomputes identical bits from its snapshot. Every failure is
+    /// counted (see [`Server::journal_write_failures`]) and the next
+    /// successful persist catches the file up.
     fn persist_journal(&self, st: &State) -> Result<(), SnapshotError> {
         let durable: BTreeMap<u64, JobSpec> = st
             .jobs
@@ -142,7 +157,15 @@ impl Inner {
             .filter(|(_, j)| !matches!(j.phase, JobPhase::Cancelled | JobPhase::Failed))
             .map(|(&id, j)| (id, j.spec.clone()))
             .collect();
-        write_journal_atomic(&self.journal_path, &serialize_journal(self.fingerprint, &durable))
+        let result = write_journal_atomic(
+            &*self.config.storage,
+            &self.journal_path,
+            &serialize_journal(self.fingerprint, &durable),
+        );
+        if result.is_err() {
+            self.journal_write_failures.fetch_add(1, Ordering::SeqCst);
+        }
+        result
     }
 
     fn snapshot_path(&self, id: u64) -> PathBuf {
@@ -355,7 +378,8 @@ impl Inner {
             .with_parallelism(Parallelism::with_threads(threads))
             .with_supervisor(supervisor)
             .with_shared_cache(Arc::clone(&self.cache))
-            .with_cancel_flag(cancel);
+            .with_cancel_flag(cancel)
+            .with_storage(Arc::clone(&self.config.storage));
         if let Some(faults) = &self.config.exec_faults {
             pipeline = pipeline.with_exec_faults(faults.clone());
         }
@@ -534,15 +558,22 @@ impl Server {
     /// or listener cannot be set up.
     pub fn start(config: ServeConfig) -> Result<Server, StemError> {
         config.validate()?;
-        std::fs::create_dir_all(&config.journal_dir)
-            .map_err(|e| StemError::Snapshot(SnapshotError::Io(e.to_string())))?;
+        let storage = Arc::clone(&config.storage);
+        storage
+            .create_dir_all(&config.journal_dir)
+            .map_err(|e| StemError::Snapshot(SnapshotError::Io(e)))?;
+        // A crash mid-write (in a previous life of this directory)
+        // leaves orphan `*.tmp` files the atomic-write discipline never
+        // reads; sweep them before recovery so they cannot accrete.
+        let swept_tmp = stem_storage::sweep_tmp_dir(&*storage, &config.journal_dir)
+            .map_err(|e| StemError::Snapshot(SnapshotError::Io(e)))?;
         // The fingerprint binds the journal to one daemon identity: the
         // journal format version and the target GPU. A journal written
         // for another GPU must never resume here.
         let fingerprint = fnv1a64(format!("{HEADER};gpu={}", config.gpu.name).as_bytes());
         let journal_path = config.journal_dir.join("serve.journal");
         let (jobs, quarantined) =
-            load_journal(&journal_path, fingerprint).map_err(StemError::Snapshot)?;
+            load_journal(&*storage, &journal_path, fingerprint).map_err(StemError::Snapshot)?;
         let re_admitted: Vec<u64> = jobs.keys().copied().collect();
         let next_id = jobs.keys().next_back().map_or(0, |&id| id + 1);
         let queue: VecDeque<u64> = jobs.keys().copied().collect();
@@ -553,11 +584,16 @@ impl Server {
             Some(cap) => SimCache::with_capacity(cap),
             None => SimCache::new(),
         });
-        let listener = TcpListener::bind(("127.0.0.1", 0))
-            .map_err(|e| StemError::Snapshot(SnapshotError::Io(e.to_string())))?;
-        let addr = listener
-            .local_addr()
-            .map_err(|e| StemError::Snapshot(SnapshotError::Io(e.to_string())))?;
+        let bind_err = |e: &std::io::Error| {
+            StemError::Snapshot(SnapshotError::Io(StorageError::new(
+                StorageOp::Bind,
+                "127.0.0.1:0",
+                e.kind(),
+                e.to_string(),
+            )))
+        };
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| bind_err(&e))?;
+        let addr = listener.local_addr().map_err(|e| bind_err(&e))?;
 
         let workers = config.workers;
         let inner = Arc::new(Inner {
@@ -571,13 +607,18 @@ impl Server {
             registry: standard_registry(),
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
-            recovery: RecoveryReport { re_admitted, quarantined },
+            recovery: RecoveryReport { re_admitted, quarantined, swept_tmp },
+            journal_write_failures: AtomicU64::new(0),
         });
         // Re-persist immediately so a quarantined journal is replaced by
-        // a valid (possibly empty) one before any client arrives.
+        // a valid (possibly empty) one before any client arrives. Best
+        // effort: on failure the disk still holds either nothing, the
+        // quarantined copy (set aside, never re-read), or the previous
+        // valid journal with these same jobs — all safe to restart from
+        // — and the failure is counted like any other journal write.
         {
             let st = lock_state(&inner.state);
-            inner.persist_journal(&st).map_err(StemError::Snapshot)?;
+            let _ = inner.persist_journal(&st);
         }
 
         let mut threads = Vec::with_capacity(workers + 1);
@@ -612,6 +653,14 @@ impl Server {
     /// What `start` recovered from the journal.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.inner.recovery
+    }
+
+    /// Journal writes that failed since startup. Nonzero means the
+    /// on-disk journal is stale-but-valid (typed degradation): admitted
+    /// jobs keep running, and the next successful persist catches the
+    /// disk up.
+    pub fn journal_write_failures(&self) -> u64 {
+        self.inner.journal_write_failures.load(Ordering::SeqCst)
     }
 
     /// The cross-campaign memo cache (shared by every job this daemon

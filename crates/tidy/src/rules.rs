@@ -83,8 +83,9 @@ pub fn severity(rule: &str) -> Severity {
 }
 
 /// Crates whose `src/` is library source (see module docs).
-const LIB_SRC_PREFIXES: [&str; 10] = [
+const LIB_SRC_PREFIXES: [&str; 11] = [
     "crates/stats/src/",
+    "crates/storage/src/",
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/sim/src/",
@@ -99,8 +100,9 @@ const LIB_SRC_PREFIXES: [&str; 10] = [
 /// Crates on the per-invocation hot path (no `panic!` family). The serve
 /// daemon counts: a stray `panic!` in a worker or connection handler
 /// takes down every tenant's campaign at once.
-const HOT_SRC_PREFIXES: [&str; 6] = [
+const HOT_SRC_PREFIXES: [&str; 7] = [
     "crates/stats/src/",
+    "crates/storage/src/",
     "crates/cluster/src/",
     "crates/core/src/",
     "crates/sim/src/",
@@ -112,8 +114,12 @@ const HOT_SRC_PREFIXES: [&str; 6] = [
 /// (the whole `panic!`/`assert!` family is banned, asserts included).
 /// For the serve crate that is the wire-facing surface: the protocol
 /// parser and the on-disk journal reader, both fed attacker-shaped bytes.
-const INGEST_SRC_PREFIXES: [&str; 4] = [
+/// The storage crate counts too: it is the layer every snapshot and
+/// journal read enters the process through, and it must degrade to typed
+/// errors, never panic, on whatever a damaged disk hands back.
+const INGEST_SRC_PREFIXES: [&str; 5] = [
     "crates/profile/src/",
+    "crates/storage/src/",
     "crates/workload/src/io.rs",
     "crates/serve/src/proto.rs",
     "crates/serve/src/journal.rs",

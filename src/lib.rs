@@ -24,6 +24,12 @@
 //! * [`par`] (`stem-par`) — the deterministic parallel runtime: a scoped
 //!   thread pool with index-ordered map/reduce whose results are
 //!   bit-identical at every thread count (`STEM_THREADS` override).
+//! * [`storage`] (`stem-storage`) — the [`storage::Storage`] abstraction
+//!   behind every durable write (campaign snapshots, the serve journal,
+//!   committed bench results): atomic tmp+fsync+rename writes,
+//!   uniquified quarantine, and orphan-tmp sweeps. The chaos-family
+//!   [`profile::FaultFs`] implements it with injected torn writes,
+//!   ENOSPC, rename/fsync failures, and crash-at-syscall boundaries.
 //!
 //! # Quickstart
 //!
@@ -62,6 +68,7 @@ pub use stem_core as core;
 pub use stem_par as par;
 pub use stem_serve as serve;
 pub use stem_stats as stats;
+pub use stem_storage as storage;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
@@ -82,9 +89,10 @@ pub mod prelude {
         TbPointSampler, TwoPhaseSampler,
     };
     pub use gpu_profile::{
-        DataQualityReport, ExecFaultPlan, Fault, FaultPlan, SnapshotFault, TraceRecord,
-        TraceValidator,
+        CrashMode, DataQualityReport, ExecFaultPlan, Fault, FaultFs, FaultPlan, SnapshotFault,
+        StorageFault, StorageFaultPlan, TraceRecord, TraceValidator,
     };
+    pub use stem_storage::{RealFs, Storage, StorageError, StorageOp};
     pub use stem_core::sampler::KernelSampler;
     pub use stem_par::{ExecLog, Parallelism, Supervisor, TaskFailure};
     pub use stem_core::{
