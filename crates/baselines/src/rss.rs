@@ -375,7 +375,7 @@ mod tests {
 
     #[test]
     fn longtail_degenerate_strata_stay_finite() {
-        let w = longtail_skew(9);
+        let w = longtail_skew(9).materialize();
         let plan = RssSampler::new().try_plan(&w, 2).expect("plan");
         assert!(plan.predicted_error().is_finite());
         assert!(plan.clusters().iter().all(|c| c.std_time.is_finite()));

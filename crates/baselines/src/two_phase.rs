@@ -289,7 +289,7 @@ mod tests {
 
     #[test]
     fn longtail_singleton_strata_get_exact_enumeration() {
-        let w = longtail_skew(9);
+        let w = longtail_skew(9).materialize();
         let plan = TwoPhaseSampler::new().plan(&w, 2);
         assert!(plan.predicted_error().is_finite());
         let groups = w.invocations_by_kernel_name();
@@ -307,7 +307,7 @@ mod tests {
 
     #[test]
     fn budget_never_exceeds_population() {
-        let w = longtail_skew(4);
+        let w = longtail_skew(4).materialize();
         let plan = TwoPhaseSampler::new().plan(&w, 7);
         assert!(plan.num_samples() <= w.num_invocations());
         for c in plan.clusters() {

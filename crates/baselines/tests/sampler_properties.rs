@@ -81,7 +81,7 @@ fn every_stratum_nonempty_when_budget_allows() {
     // longtail_skew has ≥30 name strata, several singletons — if the
     // budget (clamped ≥ strata count) leaves any stratum empty, the
     // estimator silently drops population mass.
-    let w = longtail_skew(5);
+    let w = longtail_skew(5).materialize();
     for sampler in new_samplers() {
         for seed in SEEDS {
             let plan = sampler.try_plan(&w, seed).expect("nonempty");

@@ -22,6 +22,7 @@ use std::time::Instant;
 use gpu_workload::suites::HuggingfaceScale;
 use gpu_workload::{SuiteKind, Workload};
 use stem_bench::harness::ExperimentOptions;
+use stem_bench::memuse::peak_rss_kb;
 use stem_core::sampler::KernelSampler;
 use stem_core::{Pipeline, SnapshotError, StemConfig, StemError, StemRootSampler};
 
@@ -31,6 +32,10 @@ struct Section {
     wall_ns: u128,
     /// Work units processed (invocations for sim phases, points for plans).
     units: u64,
+    /// Process peak RSS (`VmHWM`, kB) observed at the end of the section.
+    /// Monotonic across sections: a flat sequence means nothing in later
+    /// sections scaled memory with stream length.
+    peak_rss_kb: u64,
 }
 
 impl Section {
@@ -114,6 +119,7 @@ fn bench_suite(kind: SuiteKind, options: &ExperimentOptions, reps: u32) -> Suite
         name: "ground_truth_sim",
         wall_ns: t.elapsed().as_nanos(),
         units: invocations,
+        peak_rss_kb: peak_rss_kb(),
     });
     assert!(total_cycles.is_finite() && total_cycles > 0.0);
 
@@ -127,6 +133,7 @@ fn bench_suite(kind: SuiteKind, options: &ExperimentOptions, reps: u32) -> Suite
         name: "clustering_plan",
         wall_ns: t.elapsed().as_nanos(),
         units: invocations,
+        peak_rss_kb: peak_rss_kb(),
     });
     assert!(planned_samples > 0);
 
@@ -149,6 +156,7 @@ fn bench_suite(kind: SuiteKind, options: &ExperimentOptions, reps: u32) -> Suite
         name: "pipeline_end_to_end",
         wall_ns: t.elapsed().as_nanos(),
         units: invocations * (reps as u64 + 1),
+        peak_rss_kb: peak_rss_kb(),
     });
     assert!(mean_err.is_finite());
 
@@ -212,11 +220,12 @@ fn run() -> Result<(), StemError> {
         json.push_str("      \"sections\": [\n");
         for (j, s) in r.sections.iter().enumerate() {
             json.push_str(&format!(
-                "        {{\"name\": \"{}\", \"wall_ns\": {}, \"units\": {}, \"units_per_s\": {:.1}}}{}\n",
+                "        {{\"name\": \"{}\", \"wall_ns\": {}, \"units\": {}, \"units_per_s\": {:.1}, \"peak_rss_kb\": {}}}{}\n",
                 s.name,
                 s.wall_ns,
                 s.units,
                 s.units_per_s(),
+                s.peak_rss_kb,
                 if j + 1 < r.sections.len() { "," } else { "" }
             ));
         }

@@ -169,13 +169,22 @@ fn scenario_roster() -> Vec<(&'static str, fn(u64) -> Workload, bool)> {
             .find(|w| w.name() == "bert")
             .expect("bert in huggingface")
     }
+    fn drift(seed: u64) -> Workload {
+        phase_drift(seed).materialize()
+    }
+    fn bursty(seed: u64) -> Workload {
+        bursty_interference(seed).materialize()
+    }
+    fn longtail(seed: u64) -> Workload {
+        longtail_skew(seed).materialize()
+    }
     vec![
         ("rodinia/srad", srad, true),
         ("casio/ssdrn34_infer", ssdrn34, true),
         ("hf/bert", bert, true),
-        ("adv/phase_drift", phase_drift, false),
-        ("adv/bursty_interference", bursty_interference, false),
-        ("adv/longtail_skew", longtail_skew, false),
+        ("adv/phase_drift", drift, false),
+        ("adv/bursty_interference", bursty, false),
+        ("adv/longtail_skew", longtail, false),
     ]
 }
 
@@ -393,7 +402,7 @@ mod tests {
     fn derived_half_width_widens_with_fewer_samples() {
         use gpu_workload::scenarios::phase_drift;
         use stem_core::sampler::KernelSampler;
-        let w = phase_drift(5);
+        let w = phase_drift(5).materialize();
         let times = ExecTimeProfiler::new(GpuConfig::rtx2080(), 0xC0FFEE).profile(&w);
         let small = stem_baselines::RandomSampler::new(0.01).plan(&w, 1);
         let large = stem_baselines::RandomSampler::new(0.20).plan(&w, 1);

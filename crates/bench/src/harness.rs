@@ -2,13 +2,16 @@
 //! evaluation loops.
 
 use gpu_sim::{GpuConfig, Simulator};
-use gpu_workload::suites::{casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale};
-use gpu_workload::{SuiteKind, Workload};
+use gpu_workload::suites::{
+    casio_sources, casio_suite, huggingface_sources, huggingface_suite, rodinia_sources,
+    rodinia_suite, HuggingfaceScale,
+};
+use gpu_workload::{SuiteKind, Workload, WorkloadSource};
 use stem_baselines::{
     PhotonSampler, PkaSampler, RandomSampler, RssSampler, SieveSampler, TbPointSampler,
     TwoPhaseSampler,
 };
-use stem_core::eval::{evaluate, EvalSummary};
+use stem_core::eval::{evaluate_total_par, EvalSummary};
 use stem_core::sampler::KernelSampler;
 use stem_core::{StemConfig, StemRootSampler};
 
@@ -166,6 +169,18 @@ impl ExperimentOptions {
         }
     }
 
+    /// The same suites as deferred [`WorkloadSource`]s (identical content
+    /// and fingerprints); experiments that iterate workload-at-a-time
+    /// materialize from these so only one workload is resident at once.
+    pub fn suite_sources(&self, kind: SuiteKind) -> Vec<WorkloadSource> {
+        match kind {
+            SuiteKind::Rodinia => rodinia_sources(self.seed),
+            SuiteKind::Casio => casio_sources(self.seed),
+            SuiteKind::Huggingface => huggingface_sources(self.seed, self.hf_scale),
+            SuiteKind::Custom => Vec::new(),
+        }
+    }
+
     /// The bound simulator.
     pub fn simulator(&self) -> Simulator {
         Simulator::new(self.sim_config.clone())
@@ -183,13 +198,55 @@ pub fn eval_method_on_suite(
     workloads: &[Workload],
     options: &ExperimentOptions,
 ) -> Vec<EvalSummary> {
-    let eval_one = |w: &Workload| -> EvalSummary {
-        let sim = options.simulator();
-        let sampler = build_sampler(method, w, &options.stem_config);
-        let full = sim.run_full(w);
-        evaluate(sampler.as_ref(), w, &sim, &full, options.reps, options.seed)
-    };
-    stem_par::par_map_indexed(stem_par::Parallelism::from_env(), workloads, |_, w| eval_one(w))
+    stem_par::par_map_indexed(stem_par::Parallelism::from_env(), workloads, |_, w| {
+        eval_method_on_workload(method, w, options)
+    })
+}
+
+/// [`eval_method_on_suite`] from deferred sources: each worker
+/// materializes its workload, evaluates it, and drops it, so peak memory
+/// stays one workload per worker no matter how large the suite is.
+/// Bit-identical summaries to evaluating the materialized suite.
+pub fn eval_method_on_sources(
+    method: MethodKind,
+    sources: &[WorkloadSource],
+    options: &ExperimentOptions,
+) -> Vec<EvalSummary> {
+    stem_par::par_map_indexed(stem_par::Parallelism::from_env(), sources, |_, s| {
+        let w = s.materialize();
+        eval_method_on_workload(method, &w, options)
+    })
+}
+
+/// One method on one workload. Ground truth folds out-of-core through
+/// the block-streaming executor — bit-identical to
+/// `run_full(w).total_cycles` without materializing the per-invocation
+/// cycle vector.
+fn eval_method_on_workload(
+    method: MethodKind,
+    w: &Workload,
+    options: &ExperimentOptions,
+) -> EvalSummary {
+    let sim = options.simulator();
+    let sampler = build_sampler(method, w, &options.stem_config);
+    let full_total = gpu_sim::workload_total(
+        &sim,
+        stem_par::Parallelism::serial(),
+        w,
+        gpu_workload::DEFAULT_BLOCK_LEN,
+        gpu_sim::DEFAULT_CHANNEL_BLOCKS,
+    )
+    .expect("generated workloads stream cleanly")
+    .total_cycles;
+    evaluate_total_par(
+        sampler.as_ref(),
+        w,
+        &sim,
+        full_total,
+        options.reps,
+        options.seed,
+        stem_par::Parallelism::serial(),
+    )
 }
 
 /// Suite-level aggregation: harmonic-mean speedup and arithmetic-mean error
@@ -207,6 +264,7 @@ pub fn aggregate(summaries: &[EvalSummary]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stem_core::eval::evaluate;
 
     #[test]
     fn tuning_applies_to_the_right_workloads() {

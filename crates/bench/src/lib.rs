@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod memuse;
 pub mod microbench;
 pub mod report;
 

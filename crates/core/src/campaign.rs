@@ -473,10 +473,12 @@ impl Pipeline {
         let missing: Vec<u64> = (0..total_units).filter(|u| !done.contains_key(u)).collect();
 
         // Ground-truth totals, computed lazily so fully-resumed workloads
-        // never pay for one. Only the total is needed, so `run_full_total`
-        // skips the per-invocation vector entirely (its in-order fold is
-        // bit-identical to `run_full().total_cycles`).
-        let full_totals: Vec<OnceLock<f64>> =
+        // never pay for one. Only the total is needed, so the streamed
+        // executor folds blocks without a per-invocation vector (its
+        // in-order fold is bit-identical to `run_full().total_cycles`,
+        // and its fingerprint cross-check turns a corrupted stream into
+        // a typed error instead of a wrong total).
+        let full_totals: Vec<OnceLock<Result<f64, String>>> =
             (0..workloads.len()).map(|_| OnceLock::new()).collect();
         let local_cache;
         let cache: &SimCache = match &self.shared_cache {
@@ -522,8 +524,20 @@ impl Pipeline {
                 let wi = (unit / reps) as usize;
                 let rep = unit % reps;
                 let workload = &workloads[wi];
-                let full_total = *full_totals[wi]
-                    .get_or_init(|| self.sim.run_full_total(workload, Parallelism::serial()));
+                let full_total = match full_totals[wi].get_or_init(|| {
+                    gpu_sim::workload_total(
+                        &self.sim,
+                        Parallelism::serial(),
+                        workload,
+                        gpu_workload::DEFAULT_BLOCK_LEN,
+                        gpu_sim::DEFAULT_CHANNEL_BLOCKS,
+                    )
+                    .map(|t| t.total_cycles)
+                    .map_err(|e| e.to_string())
+                }) {
+                    Ok(total) => *total,
+                    Err(msg) => return Err(StemError::GroundTruth(msg.clone())),
+                };
                 let seed = self
                     .base_seed
                     .wrapping_add(rep)

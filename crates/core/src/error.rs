@@ -68,6 +68,10 @@ pub enum StemError {
         /// Units persisted in the snapshot at the moment of interruption.
         completed_units: u64,
     },
+    /// The streamed ground-truth executor rejected the block stream
+    /// (malformed stream, or a producer/consumer fingerprint
+    /// disagreement). Carries the stream error's rendered message.
+    GroundTruth(String),
     /// An admission-controlled service refused new work because a bounded
     /// queue is full. Already-admitted jobs keep running; the caller should
     /// wait `retry_after_ms` and resubmit.
@@ -106,6 +110,9 @@ impl std::fmt::Display for StemError {
             ),
             StemError::TaskFailure(e) => write!(f, "supervised execution failed: {e}"),
             StemError::Snapshot(e) => write!(f, "campaign snapshot error: {e}"),
+            StemError::GroundTruth(msg) => {
+                write!(f, "streamed ground truth failed: {msg}")
+            }
             StemError::Interrupted { completed_units } => write!(
                 f,
                 "campaign interrupted after {completed_units} completed unit(s); \

@@ -182,6 +182,26 @@ pub fn evaluate_par(
     base_seed: u64,
     par: Parallelism,
 ) -> EvalSummary {
+    evaluate_total_par(sampler, workload, sim, full.total_cycles, reps, base_seed, par)
+}
+
+/// [`evaluate_par`] against a bare ground-truth total instead of a full
+/// per-invocation run — the entry point for streamed ground truth, where
+/// the total was folded out-of-core and no per-invocation vector exists.
+/// Identical arithmetic to [`evaluate_par`] (which delegates here).
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn evaluate_total_par(
+    sampler: &dyn KernelSampler,
+    workload: &Workload,
+    sim: &Simulator,
+    full_total: f64,
+    reps: u32,
+    base_seed: u64,
+    par: Parallelism,
+) -> EvalSummary {
     assert!(reps > 0, "at least one repetition required");
     let cache = SimCache::new();
     let results: Vec<EvalResult> = stem_par::par_map_range(par, reps as usize, |r| {
@@ -191,8 +211,8 @@ pub fn evaluate_par(
         EvalResult {
             method: sampler.name().to_string(),
             workload: workload.name().to_string(),
-            error_pct: run.error(full.total_cycles) * 100.0,
-            speedup: run.speedup(full.total_cycles),
+            error_pct: run.error(full_total) * 100.0,
+            speedup: run.speedup(full_total),
             num_samples: plan.num_samples(),
             predicted_error_pct: plan.predicted_error() * 100.0,
         }

@@ -3,7 +3,7 @@
 
 use crate::degrade::RecoveryPolicy;
 use crate::error::StemError;
-use crate::eval::{evaluate_par, EvalResult, EvalSummary, StreamingAggregate};
+use crate::eval::{evaluate_par, evaluate_total_par, EvalResult, EvalSummary, StreamingAggregate};
 use crate::sampler::KernelSampler;
 use crate::stem::StemRootSampler;
 use gpu_profile::validate::reconstructed_times;
@@ -177,15 +177,64 @@ impl Pipeline {
     }
 
     /// Ground-truth full simulation (exposed so callers can reuse it across
-    /// methods — it is by far the most expensive step).
+    /// methods — it is by far the most expensive step). Materializes the
+    /// per-invocation cycle vector; when only the total is needed, prefer
+    /// [`Pipeline::ground_truth_total`], which streams blocks instead.
     pub fn full_run(&self, workload: &Workload) -> FullRun {
         self.sim.run_full_par(workload, self.parallelism)
+    }
+
+    /// Ground-truth total via the pipelined block-streaming executor —
+    /// bit-identical to [`Pipeline::full_run`]'s `total_cycles` at every
+    /// thread count, without ever materializing a per-invocation vector.
+    /// The campaign paths compute their totals this way.
+    ///
+    /// # Errors
+    ///
+    /// [`StemError::GroundTruth`] if the block stream is rejected (only
+    /// reachable for a workload whose invocations escape construction
+    /// validation).
+    pub fn ground_truth_total(&self, workload: &Workload) -> Result<f64, StemError> {
+        gpu_sim::workload_total(
+            &self.sim,
+            self.parallelism,
+            workload,
+            gpu_workload::DEFAULT_BLOCK_LEN,
+            gpu_sim::DEFAULT_CHANNEL_BLOCKS,
+        )
+        .map(|t| t.total_cycles)
+        .map_err(|e| StemError::GroundTruth(e.to_string()))
     }
 
     /// Runs the whole pipeline for one sampler on one workload.
     pub fn run(&self, sampler: &dyn KernelSampler, workload: &Workload) -> EvalSummary {
         let full = self.full_run(workload);
         self.run_against(sampler, workload, &full)
+    }
+
+    /// [`Pipeline::run`] with the ground truth folded out-of-core through
+    /// the block-streaming executor. Identical arithmetic — the summary is
+    /// bit-identical to [`Pipeline::run`] — but peak memory stays flat in
+    /// the workload length, so this is the paper-scale entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::ground_truth_total`].
+    pub fn run_streamed(
+        &self,
+        sampler: &dyn KernelSampler,
+        workload: &Workload,
+    ) -> Result<EvalSummary, StemError> {
+        let full_total = self.ground_truth_total(workload)?;
+        Ok(evaluate_total_par(
+            sampler,
+            workload,
+            &self.sim,
+            full_total,
+            self.reps,
+            self.base_seed,
+            self.parallelism,
+        ))
     }
 
     /// Runs against a precomputed full run.
@@ -368,6 +417,21 @@ mod tests {
         let a = pipeline.run_against(&sampler, w, &full);
         let b = pipeline.run(&sampler, w);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_in_memory_run() {
+        let suite = rodinia_suite(17);
+        let w = &suite[2];
+        let sampler = StemRootSampler::new(StemConfig::paper());
+        for threads in [1usize, 4] {
+            let p = pipeline(2).with_parallelism(Parallelism::with_threads(threads));
+            let reference = p.run(&sampler, w);
+            let streamed = p.run_streamed(&sampler, w).expect("valid workload streams");
+            assert_eq!(streamed, reference, "{threads} threads");
+            let total = p.ground_truth_total(w).expect("valid workload streams");
+            assert_eq!(total.to_bits(), p.full_run(w).total_cycles.to_bits());
+        }
     }
 
     #[test]

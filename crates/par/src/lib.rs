@@ -281,6 +281,66 @@ where
     par_map_range(par, len, |i| item_fn(i, &groups))
 }
 
+/// Bounded producer/consumer pipeline with a **serial in-order fold** on
+/// the calling thread: the out-of-core counterpart of
+/// [`par_reduce_ordered`].
+///
+/// `produce` runs on its own scoped thread and pushes items into a
+/// bounded channel of `capacity` undelivered items — once full, the
+/// producer blocks, so peak memory is `capacity` items regardless of
+/// stream length (the generate→simulate→fold executor's flat-memory
+/// knob). `consume` runs on the calling thread and receives items
+/// strictly in send order; parallelism belongs *inside* `consume`
+/// (e.g. a [`par_map_range`] over one block), never across items, so the
+/// fold stays bit-identical at every thread count.
+///
+/// The producer learns of an early consumer stop through channel
+/// disconnection: its next send fails and it should return its own
+/// "closed" error, which this function discards in favour of the
+/// consumer's. A producer panic is re-raised on the caller.
+///
+/// # Errors
+///
+/// The consumer's error if it stopped the pipeline, otherwise the
+/// producer's.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a rendezvous channel would deadlock a
+/// consumer that needs to see the first item before the second is
+/// produced — always give the pipeline one slot of slack).
+pub fn pipelined_fold<B, E, P, C>(capacity: usize, produce: P, mut consume: C) -> Result<(), E>
+where
+    B: Send,
+    E: Send,
+    P: FnOnce(std::sync::mpsc::SyncSender<B>) -> Result<(), E> + Send,
+    C: FnMut(B) -> Result<(), E>,
+{
+    assert!(capacity > 0, "pipeline channel needs at least one slot");
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || produce(tx));
+        let mut consumer_err = None;
+        for item in rx.iter() {
+            if let Err(e) = consume(item) {
+                consumer_err = Some(e);
+                break;
+            }
+        }
+        // Hang up before joining so a blocked producer's send fails fast
+        // instead of deadlocking against a consumer that already stopped.
+        drop(rx);
+        let produced = match producer.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        match consumer_err {
+            Some(e) => Err(e),
+            None => produced,
+        }
+    })
+}
+
 pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
     let target_chunks = threads * CHUNKS_PER_WORKER;
     ((len + target_chunks - 1) / target_chunks).max(1)
@@ -289,6 +349,90 @@ pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pipelined_fold_preserves_send_order() {
+        let mut seen = Vec::new();
+        let result: Result<(), ()> = pipelined_fold(
+            2,
+            |tx| {
+                for i in 0..100u32 {
+                    tx.send(i).map_err(|_| ())?;
+                }
+                Ok(())
+            },
+            |i| {
+                seen.push(i);
+                Ok(())
+            },
+        );
+        assert!(result.is_ok());
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipelined_fold_consumer_error_wins_and_stops_producer() {
+        let mut consumed = 0u32;
+        let result = pipelined_fold(
+            1,
+            |tx| {
+                for i in 0..1_000_000u32 {
+                    // A hung-up consumer must make this fail, not block.
+                    tx.send(i).map_err(|_| "producer: closed")?;
+                }
+                Ok(())
+            },
+            |i| {
+                consumed += 1;
+                if i == 5 {
+                    Err("consumer: enough")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(result, Err("consumer: enough"));
+        assert_eq!(consumed, 6);
+    }
+
+    #[test]
+    fn pipelined_fold_reports_producer_error() {
+        let result: Result<(), &str> = pipelined_fold(
+            4,
+            |tx| {
+                tx.send(1u8).map_err(|_| "closed")?;
+                Err("producer: disk on fire")
+            },
+            |_| Ok(()),
+        );
+        assert_eq!(result, Err("producer: disk on fire"));
+    }
+
+    #[test]
+    fn pipelined_fold_bounds_in_flight_items() {
+        use std::sync::atomic::AtomicIsize;
+        // Tracks items sent minus items consumed; with capacity 3 the
+        // producer can be at most 3 + 1-being-sent ahead.
+        let in_flight = AtomicIsize::new(0);
+        let result: Result<(), ()> = pipelined_fold(
+            3,
+            |tx| {
+                for _ in 0..500 {
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    tx.send(()).map_err(|_| ())?;
+                }
+                Ok(())
+            },
+            |()| {
+                // Bound: 1 item here + 3 queued + 1 pre-incremented in a
+                // blocked send = 5.
+                let ahead = in_flight.fetch_sub(1, Ordering::SeqCst);
+                assert!(ahead <= 5, "producer ran {ahead} items ahead");
+                Ok(())
+            },
+        );
+        assert!(result.is_ok());
+    }
 
     #[test]
     fn serial_is_plain_map() {

@@ -9,13 +9,14 @@
 //! ```text
 //! STEM-SERVE-JOURNAL v1
 //! fingerprint 6b1c3f...
-//! job <id> <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> <deadline_ms|-> <sampler>
+//! job <id> <tenant> <suite> <suite_seed> <workload_index> <reps> <seed> <deadline_ms|-> <sampler> [<store_path> <store_fp>]
 //! checksum 9d41a2...
 //! ```
 //!
 //! A `job` line with only 8 fields (written before samplers were
-//! per-job) parses with the sampler defaulted to `STEM`, so upgrading
-//! the daemon never quarantines a healthy journal.
+//! per-job) parses with the sampler defaulted to `STEM`, and a 9-field
+//! line (written before store-backed jobs) parses with no store, so
+//! upgrading the daemon never quarantines a healthy journal.
 //!
 //! The journal records job *specs*, never results: a job's completed
 //! units live in its own campaign snapshot (`job-<id>.snap` next to the
@@ -28,7 +29,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::job::{JobSpec, SuiteId};
+use crate::job::{JobSpec, StoreRef, SuiteId};
 use stem_core::SnapshotError;
 use stem_storage::Storage;
 
@@ -57,9 +58,13 @@ pub(crate) fn serialize_journal(fingerprint: u64, jobs: &BTreeMap<u64, JobSpec>)
             Some(ms) => ms.to_string(),
             None => "-".to_string(),
         };
+        let store = match &spec.store {
+            Some(s) => format!(" {} {:016x}", s.path.display(), s.fingerprint),
+            None => String::new(),
+        };
         let _ = writeln!(
             body,
-            "job {id} {} {} {} {} {} {} {deadline} {}",
+            "job {id} {} {} {} {} {} {} {deadline} {}{store}",
             spec.tenant,
             spec.suite.as_str(),
             spec.suite_seed,
@@ -78,8 +83,10 @@ pub(crate) fn serialize_journal(fingerprint: u64, jobs: &BTreeMap<u64, JobSpec>)
 fn parse_job_fields(rest: &str, line: usize) -> Result<(u64, JobSpec), SnapshotError> {
     let malformed = |message: String| SnapshotError::Malformed { line, message };
     let fields: Vec<&str> = rest.split_whitespace().collect();
-    if fields.len() != 8 && fields.len() != 9 {
-        return Err(malformed(format!("expected 8 or 9 job fields, got {}", fields.len())));
+    // 8 = pre-sampler, 9 = pre-store, 11 = store-backed; 10 would be a
+    // store path with no fingerprint.
+    if !matches!(fields.len(), 8 | 9 | 11) {
+        return Err(malformed(format!("expected 8, 9 or 11 job fields, got {}", fields.len())));
     }
     let num = |s: &str, what: &str| -> Result<u64, SnapshotError> {
         s.parse().map_err(|_| malformed(format!("bad {what} {s:?}")))
@@ -104,6 +111,14 @@ fn parse_job_fields(rest: &str, line: usize) -> Result<(u64, JobSpec), SnapshotE
         deadline_ms,
         // 8-field lines predate per-job samplers: those jobs ran STEM.
         sampler: fields.get(8).unwrap_or(&"STEM").to_string(),
+        store: match (fields.get(9), fields.get(10)) {
+            (Some(path), Some(fp)) => Some(StoreRef {
+                path: PathBuf::from(path),
+                fingerprint: u64::from_str_radix(fp, 16)
+                    .map_err(|_| malformed(format!("bad store fingerprint {fp:?}")))?,
+            }),
+            _ => None,
+        },
     };
     spec.validate()
         .map_err(|e| malformed(format!("invalid job spec: {e}")))?;
@@ -257,6 +272,14 @@ mod tests {
             seed: 9,
             deadline_ms: if idx % 2 == 0 { Some(500) } else { None },
             sampler: if idx % 2 == 0 { "STEM" } else { "RSS" }.to_string(),
+            store: if idx % 2 == 0 {
+                None
+            } else {
+                Some(StoreRef {
+                    path: PathBuf::from("/tmp/stores/bfs"),
+                    fingerprint: 0xdead_beef,
+                })
+            },
         }
     }
 
@@ -279,7 +302,13 @@ mod tests {
     fn legacy_eight_field_job_lines_default_to_stem() {
         // A journal written before samplers were per-job: rebuild one by
         // stripping the sampler column and re-checksumming the body.
-        let text = serialize_journal(3, &jobs());
+        // (Store-backed jobs postdate samplers, so legacy lines never
+        // carry a store — drop it before cutting the last column.)
+        let mut legacy_jobs = jobs();
+        for spec in legacy_jobs.values_mut() {
+            spec.store = None;
+        }
+        let text = serialize_journal(3, &legacy_jobs);
         let body_no_checksum: String = text
             .lines()
             .filter(|l| !l.starts_with("checksum "))

@@ -43,6 +43,7 @@ pub mod multi_gpu;
 pub mod occupancy;
 pub mod sampled;
 pub mod simulator;
+pub mod streaming;
 pub mod waves;
 
 pub use config::{DseTransform, GpuConfig};
@@ -53,3 +54,7 @@ pub use memo::SimCache;
 pub use multi_gpu::{simulate_trace, ClusterConfig, TraceRun};
 pub use sampled::{SampledRun, WeightedSample};
 pub use simulator::{FullRun, Simulator};
+pub use streaming::{
+    run_streaming_total, source_total, store_total, workload_total, StreamRunError,
+    StreamingTotal, DEFAULT_CHANNEL_BLOCKS,
+};

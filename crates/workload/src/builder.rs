@@ -8,7 +8,8 @@
 use crate::context::{ContextSchedule, RuntimeContext};
 use crate::invocation::{Invocation, KernelId};
 use crate::kernel::KernelClass;
-use crate::trace::{SuiteKind, Workload};
+use crate::stream::{BlockSink, SinkError, StreamSummary};
+use crate::trace::{FingerprintFold, SuiteKind, Workload};
 use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 
 /// Builder for [`Workload`].
@@ -29,16 +30,36 @@ use stem_stats::rng::{RngExt, SeedableRng, StdRng};
 /// assert_eq!(w.num_invocations(), 100);
 /// ```
 #[derive(Debug)]
-pub struct WorkloadBuilder {
+pub struct WorkloadBuilder<'s> {
     name: String,
     suite: SuiteKind,
     kernels: Vec<KernelClass>,
     contexts: Vec<Vec<RuntimeContext>>,
     invocations: Vec<Invocation>,
     rng: StdRng,
+    sink: Option<SinkState<'s>>,
 }
 
-impl WorkloadBuilder {
+/// Streaming-mode state: where blocks go and the running fingerprint.
+#[derive(Debug)]
+struct SinkState<'s> {
+    sink: &'s mut dyn BlockSink,
+    block_len: usize,
+    /// Tables frozen (header folded, skeleton delivered)?
+    frozen: bool,
+    emitted: u64,
+    fold: FingerprintFold,
+    /// First sink failure; emission stops, `finish_stream` reports it.
+    failed: Option<SinkError>,
+}
+
+impl std::fmt::Debug for dyn BlockSink + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn BlockSink")
+    }
+}
+
+impl<'s> WorkloadBuilder<'s> {
     /// Starts an empty workload. All randomness (context draws, jitter
     /// draws) is derived from `seed`, so builds are reproducible.
     pub fn new(name: impl Into<String>, suite: SuiteKind, seed: u64) -> Self {
@@ -49,16 +70,60 @@ impl WorkloadBuilder {
             contexts: Vec::new(),
             invocations: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            sink: None,
         }
+    }
+
+    /// Starts a *streaming* workload: invocations are cut into blocks of
+    /// `block_len` and handed to `sink` instead of accumulating, so peak
+    /// memory is one block regardless of stream length. The RNG stream
+    /// is identical to the materialized builder's, so the streamed
+    /// content (and its fingerprint) matches [`WorkloadBuilder::build`]
+    /// of the same generator bit-for-bit. Finish with
+    /// [`WorkloadBuilder::finish_stream`], not [`WorkloadBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len` is zero.
+    pub fn streaming(
+        name: impl Into<String>,
+        suite: SuiteKind,
+        seed: u64,
+        sink: &'s mut dyn BlockSink,
+        block_len: usize,
+    ) -> Self {
+        assert!(block_len > 0, "streaming block length must be positive");
+        let mut b = WorkloadBuilder::new(name, suite, seed);
+        b.invocations.reserve(block_len);
+        b.sink = Some(SinkState {
+            sink,
+            block_len,
+            frozen: false,
+            emitted: 0,
+            fold: FingerprintFold::new(),
+            failed: None,
+        });
+        b
     }
 
     /// Registers a kernel class with its runtime contexts, returning its id.
     ///
     /// # Panics
     ///
-    /// Panics if the kernel or any context is invalid, or `contexts` is
-    /// empty.
+    /// Panics if the kernel or any context is invalid, `contexts` is
+    /// empty, or (in streaming mode) an invocation was already emitted —
+    /// a streaming producer must register every kernel before its first
+    /// invocation, because the tables are frozen and shipped downstream
+    /// at that point.
     pub fn add_kernel(&mut self, kernel: KernelClass, contexts: Vec<RuntimeContext>) -> KernelId {
+        if let Some(sink) = &self.sink {
+            assert!(
+                !sink.frozen,
+                "streaming builder: kernel {} registered after the first invocation \
+                 (tables are frozen and shipped at that point)",
+                kernel.name
+            );
+        }
         kernel.validate();
         assert!(
             !contexts.is_empty(),
@@ -91,8 +156,51 @@ impl WorkloadBuilder {
             "kernel {kernel} has no context {context}"
         );
         let z = standard_normal(&mut self.rng) as f32;
-        self.invocations
-            .push(Invocation::with_work(kernel, context, work_scale, z));
+        let inv = Invocation::with_work(kernel, context, work_scale, z);
+        if self.sink.is_some() {
+            self.stream_invoke(inv);
+        } else {
+            self.invocations.push(inv);
+        }
+    }
+
+    /// Streaming-mode append: freeze tables on first call, fold the
+    /// fingerprint, flush a full block. After a sink failure the RNG
+    /// keeps advancing (draws happen before this point) but nothing more
+    /// is emitted; the failure surfaces from `finish_stream`.
+    fn stream_invoke(&mut self, inv: Invocation) {
+        let Some(state) = self.sink.as_mut() else {
+            return;
+        };
+        if state.failed.is_some() {
+            return;
+        }
+        if !state.frozen {
+            state.frozen = true;
+            state
+                .fold
+                .eat_header(&self.name, self.suite, &self.kernels, &self.contexts);
+            let skeleton = Workload::new(
+                self.name.clone(),
+                self.suite,
+                self.kernels.clone(),
+                self.contexts.clone(),
+                Vec::new(),
+            );
+            if let Err(e) = state.sink.tables(&skeleton) {
+                state.failed = Some(e);
+                return;
+            }
+        }
+        state.fold.eat_invocation(&inv);
+        state.emitted += 1;
+        self.invocations.push(inv);
+        if self.invocations.len() == state.block_len {
+            if let Err(e) = state.sink.block(&self.invocations) {
+                state.failed = Some(e);
+            }
+            self.invocations.clear();
+        }
     }
 
     /// Appends `count` invocations following a [`ContextSchedule`], all at
@@ -164,8 +272,15 @@ impl WorkloadBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no kernels were registered.
+    /// Panics if no kernels were registered, or if the builder was
+    /// started in streaming mode (use
+    /// [`WorkloadBuilder::finish_stream`] there — earlier blocks are
+    /// already downstream, so nothing could be materialized here).
     pub fn build(self) -> Workload {
+        assert!(
+            self.sink.is_none(),
+            "streaming builder must be finished with finish_stream, not build"
+        );
         Workload::new(
             self.name,
             self.suite,
@@ -173,6 +288,140 @@ impl WorkloadBuilder {
             self.contexts,
             self.invocations,
         )
+    }
+
+    /// Finalizes a streaming build: flushes the trailing partial block
+    /// and reports the stream's content fingerprint and length. If the
+    /// stream never emitted an invocation, the tables are still
+    /// delivered here so every stream carries its skeleton.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SinkError`] the sink returned, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder was not started in streaming mode, or if
+    /// no kernels were registered.
+    pub fn finish_stream(mut self) -> Result<StreamSummary, SinkError> {
+        let Some(mut state) = self.sink.take() else {
+            panic!("finish_stream called on a non-streaming builder");
+        };
+        if let Some(e) = state.failed {
+            return Err(e);
+        }
+        if !state.frozen {
+            state
+                .fold
+                .eat_header(&self.name, self.suite, &self.kernels, &self.contexts);
+            let skeleton = Workload::new(
+                self.name.clone(),
+                self.suite,
+                self.kernels.clone(),
+                self.contexts.clone(),
+                Vec::new(),
+            );
+            state.sink.tables(&skeleton)?;
+        }
+        if !self.invocations.is_empty() {
+            state.sink.block(&self.invocations)?;
+        }
+        Ok(StreamSummary {
+            fingerprint: state.fold.finish(),
+            invocations: state.emitted,
+        })
+    }
+}
+
+/// A deferred workload generator: name, suite and seed plus the *emit
+/// body* that registers kernels and appends invocations against a
+/// builder. The same body drives both the materialized and the
+/// streaming path, so the two share one RNG stream and produce
+/// bit-identical content (and therefore one fingerprint) by
+/// construction.
+pub struct WorkloadSource {
+    name: String,
+    suite: SuiteKind,
+    seed: u64,
+    emit: Box<dyn Fn(&mut WorkloadBuilder<'_>) + Send + Sync>,
+}
+
+impl std::fmt::Debug for WorkloadSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSource")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkloadSource {
+    /// Wraps an emit body. The body must register every kernel before
+    /// its first invocation (all suite generators already do) so it can
+    /// run against a streaming builder.
+    pub fn new(
+        name: impl Into<String>,
+        suite: SuiteKind,
+        seed: u64,
+        emit: impl Fn(&mut WorkloadBuilder<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        WorkloadSource {
+            name: name.into(),
+            suite,
+            seed,
+            emit: Box::new(emit),
+        }
+    }
+
+    /// Workload name this source generates.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Suite the workload belongs to.
+    pub fn suite(&self) -> SuiteKind {
+        self.suite
+    }
+
+    /// Seed driving every random draw of the emit body.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Runs the emit body against an in-memory builder: the classic,
+    /// whole-workload path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emit body violates builder invariants.
+    pub fn materialize(&self) -> Workload {
+        let mut b = WorkloadBuilder::new(self.name.clone(), self.suite, self.seed);
+        (self.emit)(&mut b);
+        b.build()
+    }
+
+    /// Runs the emit body against a streaming builder: blocks of
+    /// `block_len` invocations go to `sink` as they fill, so peak
+    /// memory stays one block no matter how long the stream is.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SinkError`] the sink reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emit body violates builder invariants (including
+    /// registering a kernel after its first invocation).
+    pub fn stream(
+        &self,
+        sink: &mut dyn BlockSink,
+        block_len: usize,
+    ) -> Result<StreamSummary, SinkError> {
+        let mut b =
+            WorkloadBuilder::streaming(self.name.clone(), self.suite, self.seed, sink, block_len);
+        (self.emit)(&mut b);
+        b.finish_stream()
     }
 }
 
@@ -193,7 +442,7 @@ mod tests {
     use super::*;
     use crate::kernel::KernelClassBuilder;
 
-    fn builder_with_kernel(contexts: usize) -> (WorkloadBuilder, KernelId) {
+    fn builder_with_kernel(contexts: usize) -> (WorkloadBuilder<'static>, KernelId) {
         let mut b = WorkloadBuilder::new("t", SuiteKind::Custom, 1);
         let ctxs = (0..contexts)
             .map(|i| RuntimeContext::neutral().with_work(1.0 + i as f64))
@@ -295,5 +544,81 @@ mod tests {
         assert!(b.is_empty());
         b.invoke(id, 0, 1.0);
         assert_eq!(b.len(), 1);
+    }
+
+    fn demo_source() -> WorkloadSource {
+        WorkloadSource::new("s", SuiteKind::Custom, 11, |b| {
+            let ctxs = vec![
+                RuntimeContext::neutral(),
+                RuntimeContext::neutral().with_work(2.0),
+            ];
+            let id = b.add_kernel(KernelClassBuilder::new("k").build(), ctxs);
+            b.schedule(id, &ContextSchedule::Weighted(vec![3.0, 1.0]), 1000);
+        })
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let source = demo_source();
+        let reference = source.materialize();
+        let mut sink = crate::stream::CollectSink::new();
+        let summary = source.stream(&mut sink, 64).expect("stream");
+        let streamed = sink.into_workload();
+        assert_eq!(streamed, reference);
+        assert_eq!(summary.fingerprint, reference.fingerprint());
+        assert_eq!(summary.invocations, 1000);
+    }
+
+    /// Every block but the last carries exactly `block_len` invocations,
+    /// and the trailing partial block is flushed by `finish_stream`.
+    #[test]
+    fn streaming_cuts_exact_blocks() {
+        struct Counter(Vec<usize>);
+        impl crate::stream::BlockSink for Counter {
+            fn tables(&mut self, _: &Workload) -> Result<(), crate::stream::SinkError> {
+                Ok(())
+            }
+            fn block(&mut self, invs: &[Invocation]) -> Result<(), crate::stream::SinkError> {
+                self.0.push(invs.len());
+                Ok(())
+            }
+        }
+        let mut sink = Counter(Vec::new());
+        demo_source().stream(&mut sink, 64).expect("stream");
+        assert_eq!(sink.0.len(), 16);
+        assert!(sink.0[..15].iter().all(|&n| n == 64));
+        assert_eq!(sink.0[15], 1000 - 15 * 64);
+    }
+
+    #[test]
+    fn empty_stream_still_delivers_tables() {
+        let source = WorkloadSource::new("empty", SuiteKind::Custom, 3, |b| {
+            b.add_kernel(
+                KernelClassBuilder::new("k").build(),
+                vec![RuntimeContext::neutral()],
+            );
+        });
+        let mut sink = crate::stream::CollectSink::new();
+        let summary = source.stream(&mut sink, 64).expect("stream");
+        let w = sink.into_workload();
+        assert_eq!(summary.invocations, 0);
+        assert_eq!(summary.fingerprint, w.fingerprint());
+        assert_eq!(w.kernels().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered after the first invocation")]
+    fn streaming_rejects_late_kernel_registration() {
+        let mut sink = crate::stream::CollectSink::new();
+        let mut b = WorkloadBuilder::streaming("late", SuiteKind::Custom, 1, &mut sink, 8);
+        let id = b.add_kernel(
+            KernelClassBuilder::new("k").build(),
+            vec![RuntimeContext::neutral()],
+        );
+        b.invoke(id, 0, 1.0);
+        b.add_kernel(
+            KernelClassBuilder::new("k2").build(),
+            vec![RuntimeContext::neutral()],
+        );
     }
 }

@@ -21,16 +21,26 @@
 //! calibration can afford dozens of full-simulation repetitions, and
 //! tagged [`SuiteKind::Custom`].
 
+use crate::builder::WorkloadSource;
 use crate::context::{ContextSchedule, RuntimeContext};
 use crate::suites::ml;
 use crate::trace::{SuiteKind, Workload};
-use crate::WorkloadBuilder;
 
 /// Names of the adversarial scenarios, in [`adversarial_suite`] order.
 pub const SCENARIO_NAMES: [&str; 3] = ["phase_drift", "bursty_interference", "longtail_skew"];
 
 /// All three adversarial workloads, in [`SCENARIO_NAMES`] order.
 pub fn adversarial_suite(seed: u64) -> Vec<Workload> {
+    adversarial_sources(seed)
+        .iter()
+        .map(WorkloadSource::materialize)
+        .collect()
+}
+
+/// The three adversarial workloads as deferred [`WorkloadSource`]s — the
+/// block-streaming counterpart of [`adversarial_suite`], generating
+/// identical content (same RNG stream, same fingerprints).
+pub fn adversarial_sources(seed: u64) -> Vec<WorkloadSource> {
     vec![
         phase_drift(seed),
         bursty_interference(seed),
@@ -40,6 +50,11 @@ pub fn adversarial_suite(seed: u64) -> Vec<Workload> {
 
 /// Looks a scenario up by its [`SCENARIO_NAMES`] entry.
 pub fn scenario_by_name(name: &str, seed: u64) -> Option<Workload> {
+    scenario_source_by_name(name, seed).map(|s| s.materialize())
+}
+
+/// [`scenario_by_name`], deferred: the source can stream or materialize.
+pub fn scenario_source_by_name(name: &str, seed: u64) -> Option<WorkloadSource> {
     match name {
         "phase_drift" => Some(phase_drift(seed)),
         "bursty_interference" => Some(bursty_interference(seed)),
@@ -53,91 +68,94 @@ pub fn scenario_by_name(name: &str, seed: u64) -> Option<Workload> {
 /// phase at a time ([`ContextSchedule::Phased`]). A sampler that trusts an
 /// early prefix — or a clustering that assumes one stationary distribution
 /// per kernel — sees its estimate dragged by the drift.
-pub fn phase_drift(seed: u64) -> Workload {
-    let mut b = WorkloadBuilder::new("phase_drift", SuiteKind::Custom, seed ^ 0xd81f_7000);
+pub fn phase_drift(seed: u64) -> WorkloadSource {
+    WorkloadSource::new("phase_drift", SuiteKind::Custom, seed ^ 0xd81f_7000, |b| {
+        // A mid-size GEMM drifting through four regimes: warm cache and unit
+        // work at the start, 2.1x work on a cold cache by the end.
+        let gemm = b.add_kernel(
+            ml::gemm("drift_gemm", ml::GemmSize::Medium),
+            vec![
+                RuntimeContext::neutral().with_work(1.0).with_locality(3.0).with_jitter(0.05),
+                RuntimeContext::neutral().with_work(1.25).with_locality(1.8).with_jitter(0.07),
+                RuntimeContext::neutral().with_work(1.6).with_locality(1.0).with_jitter(0.09),
+                RuntimeContext::neutral().with_work(2.1).with_locality(0.5).with_jitter(0.12),
+            ],
+        );
+        // Attention-score kernel whose working set falls out of cache.
+        let attn = b.add_kernel(
+            ml::softmax("drift_attn", 96),
+            vec![
+                RuntimeContext::neutral().with_work(1.0).with_locality(2.5).with_jitter(0.10),
+                RuntimeContext::neutral().with_work(1.3).with_locality(1.0).with_jitter(0.10),
+                RuntimeContext::neutral().with_work(1.7).with_locality(0.4).with_jitter(0.10),
+            ],
+        );
+        // Memory-bound pooling kernel that both slows down and gets noisier.
+        let pool = b.add_kernel(
+            ml::pool("drift_pool", 64),
+            vec![
+                RuntimeContext::neutral().with_locality(1.0).with_jitter(0.15),
+                RuntimeContext::neutral().with_locality(0.4).with_jitter(0.30),
+            ],
+        );
 
-    // A mid-size GEMM drifting through four regimes: warm cache and unit
-    // work at the start, 2.1x work on a cold cache by the end.
-    let gemm = b.add_kernel(
-        ml::gemm("drift_gemm", ml::GemmSize::Medium),
-        vec![
-            RuntimeContext::neutral().with_work(1.0).with_locality(3.0).with_jitter(0.05),
-            RuntimeContext::neutral().with_work(1.25).with_locality(1.8).with_jitter(0.07),
-            RuntimeContext::neutral().with_work(1.6).with_locality(1.0).with_jitter(0.09),
-            RuntimeContext::neutral().with_work(2.1).with_locality(0.5).with_jitter(0.12),
-        ],
-    );
-    b.schedule(
-        gemm,
-        &ContextSchedule::Phased(vec![(0, 900), (1, 900), (2, 900), (3, 900)]),
-        3600,
-    );
-
-    // Attention-score kernel whose working set falls out of cache.
-    let attn = b.add_kernel(
-        ml::softmax("drift_attn", 96),
-        vec![
-            RuntimeContext::neutral().with_work(1.0).with_locality(2.5).with_jitter(0.10),
-            RuntimeContext::neutral().with_work(1.3).with_locality(1.0).with_jitter(0.10),
-            RuntimeContext::neutral().with_work(1.7).with_locality(0.4).with_jitter(0.10),
-        ],
-    );
-    b.schedule(attn, &ContextSchedule::Phased(vec![(0, 800), (1, 800), (2, 800)]), 2400);
-
-    // Memory-bound pooling kernel that both slows down and gets noisier.
-    let pool = b.add_kernel(
-        ml::pool("drift_pool", 64),
-        vec![
-            RuntimeContext::neutral().with_locality(1.0).with_jitter(0.15),
-            RuntimeContext::neutral().with_locality(0.4).with_jitter(0.30),
-        ],
-    );
-    b.schedule(pool, &ContextSchedule::Phased(vec![(0, 700), (1, 700)]), 1400);
-
-    b.build()
+        b.schedule(
+            gemm,
+            &ContextSchedule::Phased(vec![(0, 900), (1, 900), (2, 900), (3, 900)]),
+            3600,
+        );
+        b.schedule(
+            attn,
+            &ContextSchedule::Phased(vec![(0, 800), (1, 800), (2, 800)]),
+            2400,
+        );
+        b.schedule(pool, &ContextSchedule::Phased(vec![(0, 700), (1, 700)]), 1400);
+    })
 }
 
 /// A noisy co-tenant periodically evicts the cache: each kernel alternates
 /// long calm phases with short bursts where locality collapses and jitter
 /// explodes. Per-kernel histograms become heavy-tailed mixtures whose
 /// minority mode is easy for a small sample to miss entirely.
-pub fn bursty_interference(seed: u64) -> Workload {
-    let mut b = WorkloadBuilder::new("bursty_interference", SuiteKind::Custom, seed ^ 0xb0b5_7000);
+pub fn bursty_interference(seed: u64) -> WorkloadSource {
+    WorkloadSource::new(
+        "bursty_interference",
+        SuiteKind::Custom,
+        seed ^ 0xb0b5_7000,
+        |b| {
+            // calm/burst context pairs: the burst context models the co-tenant
+            // flushing L2 (locality collapses, footprint pressure doubles) and
+            // injecting DRAM-contention jitter.
+            let gemm = b.add_kernel(
+                ml::gemm("tenant_gemm", ml::GemmSize::Medium),
+                vec![
+                    RuntimeContext::neutral().with_locality(2.5).with_jitter(0.04),
+                    RuntimeContext::neutral()
+                        .with_locality(0.3)
+                        .with_footprint(2.0)
+                        .with_jitter(0.60),
+                ],
+            );
+            let embed = b.add_kernel(
+                ml::embedding("tenant_embed", 96),
+                vec![
+                    RuntimeContext::neutral().with_locality(1.0).with_jitter(0.20),
+                    RuntimeContext::neutral().with_locality(0.25).with_jitter(0.80),
+                ],
+            );
+            let norm = b.add_kernel(
+                ml::norm("tenant_norm", 96),
+                vec![
+                    RuntimeContext::neutral().with_jitter(0.03),
+                    RuntimeContext::neutral().with_locality(0.5).with_jitter(0.40),
+                ],
+            );
 
-    // calm/burst context pairs: the burst context models the co-tenant
-    // flushing L2 (locality collapses, footprint pressure doubles) and
-    // injecting DRAM-contention jitter.
-    let gemm = b.add_kernel(
-        ml::gemm("tenant_gemm", ml::GemmSize::Medium),
-        vec![
-            RuntimeContext::neutral().with_locality(2.5).with_jitter(0.04),
-            RuntimeContext::neutral()
-                .with_locality(0.3)
-                .with_footprint(2.0)
-                .with_jitter(0.60),
-        ],
-    );
-    b.schedule(gemm, &ContextSchedule::Phased(vec![(0, 280), (1, 70)]), 3500);
-
-    let embed = b.add_kernel(
-        ml::embedding("tenant_embed", 96),
-        vec![
-            RuntimeContext::neutral().with_locality(1.0).with_jitter(0.20),
-            RuntimeContext::neutral().with_locality(0.25).with_jitter(0.80),
-        ],
-    );
-    b.schedule(embed, &ContextSchedule::Phased(vec![(0, 160), (1, 40)]), 2000);
-
-    let norm = b.add_kernel(
-        ml::norm("tenant_norm", 96),
-        vec![
-            RuntimeContext::neutral().with_jitter(0.03),
-            RuntimeContext::neutral().with_locality(0.5).with_jitter(0.40),
-        ],
-    );
-    b.schedule(norm, &ContextSchedule::Phased(vec![(0, 120), (1, 60)]), 1440);
-
-    b.build()
+            b.schedule(gemm, &ContextSchedule::Phased(vec![(0, 280), (1, 70)]), 3500);
+            b.schedule(embed, &ContextSchedule::Phased(vec![(0, 160), (1, 40)]), 2000);
+            b.schedule(norm, &ContextSchedule::Phased(vec![(0, 120), (1, 60)]), 1440);
+        },
+    )
 }
 
 /// Extreme kernel-count skew: two head kernels carry nearly all calls
@@ -145,39 +163,43 @@ pub fn bursty_interference(seed: u64) -> Workload {
 /// stratifiers get dozens of strata whose variance is undefined or zero
 /// (single member, or identical members) — the degenerate-stratum regime
 /// the Neyman-allocation guard exists for.
-pub fn longtail_skew(seed: u64) -> Workload {
-    let mut b = WorkloadBuilder::new("longtail_skew", SuiteKind::Custom, seed ^ 0x10f7_a110);
-
-    let head_gemm = b.add_kernel(
-        ml::gemm("head_gemm", ml::GemmSize::Large),
-        ml::two_peak_contexts(2.2, 0.08),
-    );
-    b.schedule(head_gemm, &ContextSchedule::Weighted(vec![3.0, 1.0]), 3600);
-
-    let head_soft = b.add_kernel(ml::softmax("head_soft", 128), ml::stable_context(0.12));
-    b.schedule(head_soft, &ContextSchedule::Cyclic, 2200);
-
-    for i in 0..28u64 {
-        let name = format!("tail_{i:02}");
-        let kernel = match i % 4 {
-            0 => ml::elementwise(&name, 48),
-            1 => ml::norm(&name, 48),
-            2 => ml::pool(&name, 48),
-            _ => ml::embedding(&name, 48),
-        };
-        let context = RuntimeContext::neutral()
-            .with_work(1.0 + i as f64 * 0.07)
-            .with_locality(if i % 2 == 0 { 0.8 } else { 1.5 })
-            .with_jitter(0.05 + 0.01 * (i % 5) as f64);
-        let id = b.add_kernel(kernel, vec![context]);
-        // 1 + (5i mod 9) calls: several kernels appear exactly once.
-        let count = 1 + (i * 5) % 9;
-        for _ in 0..count {
-            b.invoke(id, 0, 1.0);
+pub fn longtail_skew(seed: u64) -> WorkloadSource {
+    WorkloadSource::new("longtail_skew", SuiteKind::Custom, seed ^ 0x10f7_a110, |b| {
+        let head_gemm = b.add_kernel(
+            ml::gemm("head_gemm", ml::GemmSize::Large),
+            ml::two_peak_contexts(2.2, 0.08),
+        );
+        let head_soft = b.add_kernel(ml::softmax("head_soft", 128), ml::stable_context(0.12));
+        // Tail kernels registered up front (registration draws no RNG, so
+        // hoisting it out of the invoke loop leaves content unchanged and
+        // lets the same body run against a streaming builder, which
+        // freezes the tables at the first invocation).
+        let mut tails = Vec::with_capacity(28);
+        for i in 0..28u64 {
+            let name = format!("tail_{i:02}");
+            let kernel = match i % 4 {
+                0 => ml::elementwise(&name, 48),
+                1 => ml::norm(&name, 48),
+                2 => ml::pool(&name, 48),
+                _ => ml::embedding(&name, 48),
+            };
+            let context = RuntimeContext::neutral()
+                .with_work(1.0 + i as f64 * 0.07)
+                .with_locality(if i % 2 == 0 { 0.8 } else { 1.5 })
+                .with_jitter(0.05 + 0.01 * (i % 5) as f64);
+            tails.push(b.add_kernel(kernel, vec![context]));
         }
-    }
 
-    b.build()
+        b.schedule(head_gemm, &ContextSchedule::Weighted(vec![3.0, 1.0]), 3600);
+        b.schedule(head_soft, &ContextSchedule::Cyclic, 2200);
+        for (i, &id) in tails.iter().enumerate() {
+            // 1 + (5i mod 9) calls: several kernels appear exactly once.
+            let count = 1 + (i as u64 * 5) % 9;
+            for _ in 0..count {
+                b.invoke(id, 0, 1.0);
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +235,7 @@ mod tests {
 
     #[test]
     fn phase_drift_shifts_context_mix_between_halves() {
-        let w = phase_drift(3);
+        let w = phase_drift(3).materialize();
         let gemm: Vec<u16> = w
             .invocations()
             .iter()
@@ -232,7 +254,7 @@ mod tests {
 
     #[test]
     fn bursts_are_a_minority_of_the_stream() {
-        let w = bursty_interference(3);
+        let w = bursty_interference(3).materialize();
         let burst = w.invocations().iter().filter(|inv| inv.context == 1).count();
         let frac = burst as f64 / w.num_invocations() as f64;
         assert!(
@@ -243,7 +265,7 @@ mod tests {
 
     #[test]
     fn longtail_has_singleton_kernels_and_a_dominant_head() {
-        let w = longtail_skew(3);
+        let w = longtail_skew(3).materialize();
         let groups = w.invocations_by_kernel_name();
         let singletons = groups.values().filter(|g| g.len() == 1).count();
         assert!(singletons >= 2, "need singleton strata, got {singletons}");

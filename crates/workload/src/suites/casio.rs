@@ -6,7 +6,7 @@
 //! `max_pool` with a wide memory-bound spread, and DLRM's embedding
 //! gathers with very wide random-access jitter.
 
-use crate::builder::WorkloadBuilder;
+use crate::builder::{WorkloadBuilder, WorkloadSource};
 use crate::context::{ContextSchedule, RuntimeContext};
 use crate::invocation::KernelId;
 use crate::trace::{SuiteKind, Workload};
@@ -15,6 +15,16 @@ use super::ml::{self, GemmSize};
 
 /// Generates all 11 CASIO workloads.
 pub fn casio_suite(seed: u64) -> Vec<Workload> {
+    casio_sources(seed)
+        .iter()
+        .map(WorkloadSource::materialize)
+        .collect()
+}
+
+/// The 11 CASIO workloads as deferred [`WorkloadSource`]s — the
+/// block-streaming counterpart of [`casio_suite`], generating identical
+/// content (same RNG stream, same fingerprints).
+pub fn casio_sources(seed: u64) -> Vec<WorkloadSource> {
     vec![
         bert(seed ^ 0x11, "bert_infer", false),
         bert(seed ^ 0x12, "bert_train", true),
@@ -94,155 +104,155 @@ fn drive_cnn(b: &mut WorkloadBuilder, k: &CnnKernels, iterations: usize, train: 
     }
 }
 
-fn resnet50(seed: u64, name: &str, train: bool) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Casio, seed);
-    let k = add_cnn_kernels(&mut b, train);
-    let iterations = if train { 700 } else { 1000 };
-    drive_cnn(&mut b, &k, iterations, train);
-    b.build()
+fn resnet50(seed: u64, name: &str, train: bool) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Casio, seed, move |b| {
+        let k = add_cnn_kernels(b, train);
+        let iterations = if train { 700 } else { 1000 };
+        drive_cnn(b, &k, iterations, train);
+    })
 }
 
-fn ssdrn34(seed: u64, name: &str, train: bool) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Casio, seed);
-    let k = add_cnn_kernels(&mut b, train);
-    // Detection head adds NMS-style irregular kernels.
-    let nms = b.add_kernel(
-        crate::kernel::KernelClassBuilder::new("nms_kernel")
-            .geometry(64, 256)
-            .instructions(1_800)
-            .mix(crate::kernel::InstructionMix::irregular())
-            .memory(16 << 20, 1.0)
-            .bbv(vec![1.0, 5.0, 3.0, 2.0])
-            .build(),
-        ml::wide_context(0.30),
-    );
-    let iterations = if train { 500 } else { 700 };
-    for i in 0..iterations {
-        drive_cnn(&mut b, &k, 1, train);
-        if i % 2 == 0 {
-            b.schedule(nms, &ContextSchedule::Cyclic, 6);
-        }
-    }
-    b.build()
-}
-
-fn unet(seed: u64, name: &str, train: bool) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Casio, seed);
-    let k = add_cnn_kernels(&mut b, train);
-    let upconv = b.add_kernel(
-        ml::conv("upconv_2d_fw", 512, 14_000),
-        ml::two_peak_contexts(1.8, 0.05),
-    );
-    let iterations = if train { 550 } else { 800 };
-    for _ in 0..iterations {
-        drive_cnn(&mut b, &k, 1, train);
-        b.schedule(upconv, &ContextSchedule::Weighted(vec![1.0, 1.0]), 6);
-    }
-    b.build()
-}
-
-fn bert(seed: u64, name: &str, train: bool) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Casio, seed);
-    let qkv = b.add_kernel(
-        ml::gemm("sgemm_qkv_128x128", GemmSize::Large),
-        // Sequence-length buckets create distinct peaks.
-        ml::three_peak_contexts(0.03),
-    );
-    let attn = b.add_kernel(
-        ml::softmax("softmax_fwd_attn", 128),
-        vec![RuntimeContext::neutral()
-            .with_locality(0.8)
-            .with_jitter(0.12)],
-    );
-    let ffn = b.add_kernel(
-        ml::gemm("sgemm_ffn_256x128", GemmSize::Large),
-        ml::two_peak_contexts(2.0, 0.03),
-    );
-    let ln = b.add_kernel(ml::norm("layer_norm_fwd", 128), ml::stable_context(0.03));
-    let gelu = b.add_kernel(ml::elementwise("gelu_fwd", 128), ml::stable_context(0.02));
-    let layers = 24usize;
-    let steps = if train { 180 } else { 260 };
-    for _ in 0..steps {
-        for _ in 0..layers {
-            b.schedule(qkv, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 4);
-            b.schedule(attn, &ContextSchedule::Cyclic, 2);
-            b.schedule(ffn, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
-            b.schedule(ln, &ContextSchedule::Cyclic, 2);
-            b.schedule(gelu, &ContextSchedule::Cyclic, 1);
-            if train {
-                b.schedule(qkv, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 2);
-                b.schedule(ffn, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
+fn ssdrn34(seed: u64, name: &str, train: bool) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Casio, seed, move |b| {
+        let k = add_cnn_kernels(b, train);
+        // Detection head adds NMS-style irregular kernels.
+        let nms = b.add_kernel(
+            crate::kernel::KernelClassBuilder::new("nms_kernel")
+                .geometry(64, 256)
+                .instructions(1_800)
+                .mix(crate::kernel::InstructionMix::irregular())
+                .memory(16 << 20, 1.0)
+                .bbv(vec![1.0, 5.0, 3.0, 2.0])
+                .build(),
+            ml::wide_context(0.30),
+        );
+        let iterations = if train { 500 } else { 700 };
+        for i in 0..iterations {
+            drive_cnn(b, &k, 1, train);
+            if i % 2 == 0 {
+                b.schedule(nms, &ContextSchedule::Cyclic, 6);
             }
         }
-    }
-    b.build()
+    })
 }
 
-fn dlrm(seed: u64, name: &str, train: bool) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Casio, seed);
-    // Embedding gathers dominate: random access over multi-GiB tables,
-    // extremely wide jitter, poor locality (Fig. 13's dlrm discussion).
-    let embed = b.add_kernel(
-        ml::embedding("embedding_bag_fwd", 256),
-        vec![
-            RuntimeContext::neutral()
-                .with_locality(0.15)
-                .with_jitter(0.45),
-            RuntimeContext::neutral()
-                .with_locality(0.35)
-                .with_footprint(0.5)
-                .with_jitter(0.30),
-        ],
-    );
-    let bottom_mlp = b.add_kernel(
-        ml::gemm("sgemm_bottom_mlp", GemmSize::Small),
-        ml::stable_context(0.03),
-    );
-    let top_mlp = b.add_kernel(
-        ml::gemm("sgemm_top_mlp", GemmSize::Medium),
-        ml::two_peak_contexts(1.6, 0.04),
-    );
-    let interact = b.add_kernel(
-        ml::softmax("feature_interaction", 96),
-        ml::stable_context(0.05),
-    );
-    let steps = if train { 5200 } else { 7000 };
-    for _ in 0..steps {
-        b.schedule(embed, &ContextSchedule::Weighted(vec![3.0, 1.0]), 4);
-        b.schedule(bottom_mlp, &ContextSchedule::Cyclic, 2);
-        b.schedule(interact, &ContextSchedule::Cyclic, 1);
-        b.schedule(top_mlp, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
-        if train {
-            b.schedule(embed, &ContextSchedule::Weighted(vec![3.0, 1.0]), 2);
-            b.schedule(top_mlp, &ContextSchedule::Weighted(vec![2.0, 1.0]), 1);
+fn unet(seed: u64, name: &str, train: bool) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Casio, seed, move |b| {
+        let k = add_cnn_kernels(b, train);
+        let upconv = b.add_kernel(
+            ml::conv("upconv_2d_fw", 512, 14_000),
+            ml::two_peak_contexts(1.8, 0.05),
+        );
+        let iterations = if train { 550 } else { 800 };
+        for _ in 0..iterations {
+            drive_cnn(b, &k, 1, train);
+            b.schedule(upconv, &ContextSchedule::Weighted(vec![1.0, 1.0]), 6);
         }
-    }
-    b.build()
+    })
 }
 
-fn muzero(seed: u64) -> Workload {
-    let mut b = WorkloadBuilder::new("muzero", SuiteKind::Casio, seed);
-    let repr = b.add_kernel(
-        ml::conv("conv_representation", 256, 8_000),
-        ml::two_peak_contexts(1.5, 0.05),
-    );
-    let dynamics = b.add_kernel(
-        ml::gemm("sgemm_dynamics", GemmSize::Small),
-        ml::stable_context(0.04),
-    );
-    let policy = b.add_kernel(
-        ml::gemm("sgemm_policy_head", GemmSize::Small),
-        ml::stable_context(0.04),
-    );
-    let bn = b.add_kernel(ml::norm("bn_fw_inf_CUDNN", 128), ml::three_peak_contexts(0.03));
-    // MCTS rollouts: many tiny inference steps.
-    for _ in 0..4200 {
-        b.schedule(repr, &ContextSchedule::Weighted(vec![1.0, 1.0]), 1);
-        b.schedule(dynamics, &ContextSchedule::Cyclic, 5);
-        b.schedule(policy, &ContextSchedule::Cyclic, 2);
-        b.schedule(bn, &ContextSchedule::Weighted(vec![2.0, 2.0, 1.0]), 4);
-    }
-    b.build()
+fn bert(seed: u64, name: &str, train: bool) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Casio, seed, move |b| {
+        let qkv = b.add_kernel(
+            ml::gemm("sgemm_qkv_128x128", GemmSize::Large),
+            // Sequence-length buckets create distinct peaks.
+            ml::three_peak_contexts(0.03),
+        );
+        let attn = b.add_kernel(
+            ml::softmax("softmax_fwd_attn", 128),
+            vec![RuntimeContext::neutral()
+                .with_locality(0.8)
+                .with_jitter(0.12)],
+        );
+        let ffn = b.add_kernel(
+            ml::gemm("sgemm_ffn_256x128", GemmSize::Large),
+            ml::two_peak_contexts(2.0, 0.03),
+        );
+        let ln = b.add_kernel(ml::norm("layer_norm_fwd", 128), ml::stable_context(0.03));
+        let gelu = b.add_kernel(ml::elementwise("gelu_fwd", 128), ml::stable_context(0.02));
+        let layers = 24usize;
+        let steps = if train { 180 } else { 260 };
+        for _ in 0..steps {
+            for _ in 0..layers {
+                b.schedule(qkv, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 4);
+                b.schedule(attn, &ContextSchedule::Cyclic, 2);
+                b.schedule(ffn, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
+                b.schedule(ln, &ContextSchedule::Cyclic, 2);
+                b.schedule(gelu, &ContextSchedule::Cyclic, 1);
+                if train {
+                    b.schedule(qkv, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 2);
+                    b.schedule(ffn, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
+                }
+            }
+        }
+    })
+}
+
+fn dlrm(seed: u64, name: &str, train: bool) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Casio, seed, move |b| {
+        // Embedding gathers dominate: random access over multi-GiB tables,
+        // extremely wide jitter, poor locality (Fig. 13's dlrm discussion).
+        let embed = b.add_kernel(
+            ml::embedding("embedding_bag_fwd", 256),
+            vec![
+                RuntimeContext::neutral()
+                    .with_locality(0.15)
+                    .with_jitter(0.45),
+                RuntimeContext::neutral()
+                    .with_locality(0.35)
+                    .with_footprint(0.5)
+                    .with_jitter(0.30),
+            ],
+        );
+        let bottom_mlp = b.add_kernel(
+            ml::gemm("sgemm_bottom_mlp", GemmSize::Small),
+            ml::stable_context(0.03),
+        );
+        let top_mlp = b.add_kernel(
+            ml::gemm("sgemm_top_mlp", GemmSize::Medium),
+            ml::two_peak_contexts(1.6, 0.04),
+        );
+        let interact = b.add_kernel(
+            ml::softmax("feature_interaction", 96),
+            ml::stable_context(0.05),
+        );
+        let steps = if train { 5200 } else { 7000 };
+        for _ in 0..steps {
+            b.schedule(embed, &ContextSchedule::Weighted(vec![3.0, 1.0]), 4);
+            b.schedule(bottom_mlp, &ContextSchedule::Cyclic, 2);
+            b.schedule(interact, &ContextSchedule::Cyclic, 1);
+            b.schedule(top_mlp, &ContextSchedule::Weighted(vec![2.0, 1.0]), 2);
+            if train {
+                b.schedule(embed, &ContextSchedule::Weighted(vec![3.0, 1.0]), 2);
+                b.schedule(top_mlp, &ContextSchedule::Weighted(vec![2.0, 1.0]), 1);
+            }
+        }
+    })
+}
+
+fn muzero(seed: u64) -> WorkloadSource {
+    WorkloadSource::new("muzero", SuiteKind::Casio, seed, move |b| {
+        let repr = b.add_kernel(
+            ml::conv("conv_representation", 256, 8_000),
+            ml::two_peak_contexts(1.5, 0.05),
+        );
+        let dynamics = b.add_kernel(
+            ml::gemm("sgemm_dynamics", GemmSize::Small),
+            ml::stable_context(0.04),
+        );
+        let policy = b.add_kernel(
+            ml::gemm("sgemm_policy_head", GemmSize::Small),
+            ml::stable_context(0.04),
+        );
+        let bn = b.add_kernel(ml::norm("bn_fw_inf_CUDNN", 128), ml::three_peak_contexts(0.03));
+        // MCTS rollouts: many tiny inference steps.
+        for _ in 0..4200 {
+            b.schedule(repr, &ContextSchedule::Weighted(vec![1.0, 1.0]), 1);
+            b.schedule(dynamics, &ContextSchedule::Cyclic, 5);
+            b.schedule(policy, &ContextSchedule::Cyclic, 2);
+            b.schedule(bn, &ContextSchedule::Weighted(vec![2.0, 2.0, 1.0]), 4);
+        }
+    })
 }
 
 #[cfg(test)]

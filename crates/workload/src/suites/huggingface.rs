@@ -8,7 +8,7 @@
 //! [`HuggingfaceScale`] so the default test scale stays laptop friendly
 //! while `scale = 1.0` approximates the paper's size.
 
-use crate::builder::WorkloadBuilder;
+use crate::builder::WorkloadSource;
 use crate::context::{ContextSchedule, RuntimeContext};
 use crate::trace::{SuiteKind, Workload};
 
@@ -68,6 +68,18 @@ impl Default for HuggingfaceScale {
 
 /// Generates all 6 HuggingFace workloads at the given scale.
 pub fn huggingface_suite(seed: u64, scale: HuggingfaceScale) -> Vec<Workload> {
+    huggingface_sources(seed, scale)
+        .iter()
+        .map(WorkloadSource::materialize)
+        .collect()
+}
+
+/// The 6 HuggingFace workloads as deferred [`WorkloadSource`]s — the
+/// block-streaming counterpart of [`huggingface_suite`], generating
+/// identical content (same RNG stream, same fingerprints). At
+/// `HuggingfaceScale::paper()` each source streams millions of calls
+/// without ever materializing them.
+pub fn huggingface_sources(seed: u64, scale: HuggingfaceScale) -> Vec<WorkloadSource> {
     vec![
         decoder_llm(seed ^ 0x21, "gpt2", 48, GemmSize::Medium, scale),
         decoder_llm(seed ^ 0x22, "bloom", 70, GemmSize::Large, scale),
@@ -86,121 +98,121 @@ fn decoder_llm(
     layers: usize,
     size: GemmSize,
     scale: HuggingfaceScale,
-) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Huggingface, seed);
-    // Context 0: prefill (whole prompt, large GEMMs, good locality).
-    // Context 1: decode (single token, GEMV-shaped, KV-cache bound).
-    let prefill_decode = vec![
-        RuntimeContext::neutral().with_work(8.0).with_locality(2.0).with_jitter(0.05),
-        RuntimeContext::neutral()
-            .with_work(1.0)
-            .with_locality(0.6)
-            .with_jitter(0.14),
-    ];
-    let qkv = b.add_kernel(ml::gemm("qkv_proj_gemm", size), prefill_decode.clone());
-    let attn = b.add_kernel(
-        ml::softmax("flash_attn_fwd", 128),
-        vec![
-            RuntimeContext::neutral().with_work(6.0).with_jitter(0.06),
-            // Decode attention cost grows with KV-cache length: wide.
+) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Huggingface, seed, move |b| {
+        // Context 0: prefill (whole prompt, large GEMMs, good locality).
+        // Context 1: decode (single token, GEMV-shaped, KV-cache bound).
+        let prefill_decode = vec![
+            RuntimeContext::neutral().with_work(8.0).with_locality(2.0).with_jitter(0.05),
             RuntimeContext::neutral()
-                .with_work(1.4)
-                .with_locality(0.5)
-                .with_jitter(0.30),
-        ],
-    );
-    let out_proj = b.add_kernel(ml::gemm("out_proj_gemm", size), prefill_decode.clone());
-    let ffn1 = b.add_kernel(ml::tensor_gemm("ffn_gemm_1", size), prefill_decode.clone());
-    let ffn2 = b.add_kernel(ml::tensor_gemm("ffn_gemm_2", size), prefill_decode);
-    let ln = b.add_kernel(ml::norm("rms_norm", 96), ml::stable_context(0.03));
-    let act = b.add_kernel(ml::elementwise("silu_mul", 96), ml::stable_context(0.02));
+                .with_work(1.0)
+                .with_locality(0.6)
+                .with_jitter(0.14),
+        ];
+        let qkv = b.add_kernel(ml::gemm("qkv_proj_gemm", size), prefill_decode.clone());
+        let attn = b.add_kernel(
+            ml::softmax("flash_attn_fwd", 128),
+            vec![
+                RuntimeContext::neutral().with_work(6.0).with_jitter(0.06),
+                // Decode attention cost grows with KV-cache length: wide.
+                RuntimeContext::neutral()
+                    .with_work(1.4)
+                    .with_locality(0.5)
+                    .with_jitter(0.30),
+            ],
+        );
+        let out_proj = b.add_kernel(ml::gemm("out_proj_gemm", size), prefill_decode.clone());
+        let ffn1 = b.add_kernel(ml::tensor_gemm("ffn_gemm_1", size), prefill_decode.clone());
+        let ffn2 = b.add_kernel(ml::tensor_gemm("ffn_gemm_2", size), prefill_decode);
+        let ln = b.add_kernel(ml::norm("rms_norm", 96), ml::stable_context(0.03));
+        let act = b.add_kernel(ml::elementwise("silu_mul", 96), ml::stable_context(0.02));
 
-    // Requests: 1 prefill pass + `decode_tokens` decode passes over all
-    // layers. Base request count tuned so scale=1 approximates ~10M calls.
-    let requests = scale.steps(1100);
-    let decode_tokens = 24usize;
-    for _ in 0..requests {
-        // Prefill: context 0 everywhere.
-        for _ in 0..layers {
-            b.invoke(qkv, 0, 1.0);
-            b.invoke(attn, 0, 1.0);
-            b.invoke(out_proj, 0, 1.0);
-            b.invoke(ln, 0, 1.0);
-            b.invoke(ffn1, 0, 1.0);
-            b.invoke(act, 0, 1.0);
-            b.invoke(ffn2, 0, 1.0);
-        }
-        // Decode: context 1, attention work grows with generated length.
-        for t in 0..decode_tokens {
-            let kv_growth = 1.0 + t as f32 / decode_tokens as f32;
+        // Requests: 1 prefill pass + `decode_tokens` decode passes over all
+        // layers. Base request count tuned so scale=1 approximates ~10M calls.
+        let requests = scale.steps(1100);
+        let decode_tokens = 24usize;
+        for _ in 0..requests {
+            // Prefill: context 0 everywhere.
             for _ in 0..layers {
-                b.invoke(qkv, 1, 1.0);
-                b.invoke(attn, 1, kv_growth);
-                b.invoke(out_proj, 1, 1.0);
+                b.invoke(qkv, 0, 1.0);
+                b.invoke(attn, 0, 1.0);
+                b.invoke(out_proj, 0, 1.0);
                 b.invoke(ln, 0, 1.0);
-                b.invoke(ffn1, 1, 1.0);
+                b.invoke(ffn1, 0, 1.0);
                 b.invoke(act, 0, 1.0);
-                b.invoke(ffn2, 1, 1.0);
+                b.invoke(ffn2, 0, 1.0);
+            }
+            // Decode: context 1, attention work grows with generated length.
+            for t in 0..decode_tokens {
+                let kv_growth = 1.0 + t as f32 / decode_tokens as f32;
+                for _ in 0..layers {
+                    b.invoke(qkv, 1, 1.0);
+                    b.invoke(attn, 1, kv_growth);
+                    b.invoke(out_proj, 1, 1.0);
+                    b.invoke(ln, 0, 1.0);
+                    b.invoke(ffn1, 1, 1.0);
+                    b.invoke(act, 0, 1.0);
+                    b.invoke(ffn2, 1, 1.0);
+                }
             }
         }
-    }
-    b.build()
+    })
 }
 
 /// Encoder-only serving (BERT classification / DeiT vision transformer):
 /// fixed-length batches, no decode phase, sequence-length buckets create
 /// peaks.
-fn encoder_model(seed: u64, name: &str, layers: usize, scale: HuggingfaceScale) -> Workload {
-    let mut b = WorkloadBuilder::new(name, SuiteKind::Huggingface, seed);
-    let buckets = vec![
-        RuntimeContext::neutral().with_work(1.0).with_jitter(0.04),
-        RuntimeContext::neutral().with_work(2.0).with_jitter(0.04),
-        RuntimeContext::neutral().with_work(4.0).with_jitter(0.05),
-    ];
-    let qkv = b.add_kernel(ml::gemm("qkv_proj_gemm", GemmSize::Medium), buckets.clone());
-    let attn = b.add_kernel(ml::softmax("softmax_attn_fwd", 96), ml::wide_context(0.12));
-    let ffn = b.add_kernel(ml::tensor_gemm("ffn_gemm", GemmSize::Medium), buckets);
-    let ln = b.add_kernel(ml::norm("layer_norm_fwd", 96), ml::stable_context(0.03));
-    let gelu = b.add_kernel(ml::elementwise("gelu_fwd", 96), ml::stable_context(0.02));
+fn encoder_model(seed: u64, name: &str, layers: usize, scale: HuggingfaceScale) -> WorkloadSource {
+    WorkloadSource::new(name, SuiteKind::Huggingface, seed, move |b| {
+        let buckets = vec![
+            RuntimeContext::neutral().with_work(1.0).with_jitter(0.04),
+            RuntimeContext::neutral().with_work(2.0).with_jitter(0.04),
+            RuntimeContext::neutral().with_work(4.0).with_jitter(0.05),
+        ];
+        let qkv = b.add_kernel(ml::gemm("qkv_proj_gemm", GemmSize::Medium), buckets.clone());
+        let attn = b.add_kernel(ml::softmax("softmax_attn_fwd", 96), ml::wide_context(0.12));
+        let ffn = b.add_kernel(ml::tensor_gemm("ffn_gemm", GemmSize::Medium), buckets);
+        let ln = b.add_kernel(ml::norm("layer_norm_fwd", 96), ml::stable_context(0.03));
+        let gelu = b.add_kernel(ml::elementwise("gelu_fwd", 96), ml::stable_context(0.02));
 
-    let batches = scale.steps(7000);
-    let bucket_schedule = ContextSchedule::Weighted(vec![5.0, 3.0, 1.0]);
-    for _ in 0..batches {
-        for _ in 0..layers {
-            b.schedule(qkv, &bucket_schedule, 1);
-            b.schedule(attn, &ContextSchedule::Cyclic, 1);
-            b.schedule(ffn, &bucket_schedule, 2);
-            b.schedule(ln, &ContextSchedule::Cyclic, 2);
-            b.schedule(gelu, &ContextSchedule::Cyclic, 1);
+        let batches = scale.steps(7000);
+        let bucket_schedule = ContextSchedule::Weighted(vec![5.0, 3.0, 1.0]);
+        for _ in 0..batches {
+            for _ in 0..layers {
+                b.schedule(qkv, &bucket_schedule, 1);
+                b.schedule(attn, &ContextSchedule::Cyclic, 1);
+                b.schedule(ffn, &bucket_schedule, 2);
+                b.schedule(ln, &ContextSchedule::Cyclic, 2);
+                b.schedule(gelu, &ContextSchedule::Cyclic, 1);
+            }
         }
-    }
-    b.build()
+    })
 }
 
 /// ResNet-50 image-classification serving: CNN kernels, 7000+ images.
-fn resnet50_serving(seed: u64, scale: HuggingfaceScale) -> Workload {
-    let mut b = WorkloadBuilder::new("resnet50", SuiteKind::Huggingface, seed);
-    let wino = b.add_kernel(
-        ml::tensor_gemm("winograd_fwd_4x4", GemmSize::Large),
-        ml::two_peak_contexts(2.2, 0.05),
-    );
-    let sgemm = b.add_kernel(
-        ml::gemm("sgemm_128x64_nn", GemmSize::Medium),
-        ml::three_peak_contexts(0.03),
-    );
-    let bn = b.add_kernel(ml::norm("bn_fw_inf_CUDNN", 192), ml::three_peak_contexts(0.025));
-    let pool = b.add_kernel(ml::pool("max_pool_fw_4d", 128), ml::wide_context(0.25));
-    let relu = b.add_kernel(ml::elementwise("relu_fw", 192), ml::stable_context(0.02));
+fn resnet50_serving(seed: u64, scale: HuggingfaceScale) -> WorkloadSource {
+    WorkloadSource::new("resnet50", SuiteKind::Huggingface, seed, move |b| {
+        let wino = b.add_kernel(
+            ml::tensor_gemm("winograd_fwd_4x4", GemmSize::Large),
+            ml::two_peak_contexts(2.2, 0.05),
+        );
+        let sgemm = b.add_kernel(
+            ml::gemm("sgemm_128x64_nn", GemmSize::Medium),
+            ml::three_peak_contexts(0.03),
+        );
+        let bn = b.add_kernel(ml::norm("bn_fw_inf_CUDNN", 192), ml::three_peak_contexts(0.025));
+        let pool = b.add_kernel(ml::pool("max_pool_fw_4d", 128), ml::wide_context(0.25));
+        let relu = b.add_kernel(ml::elementwise("relu_fw", 192), ml::stable_context(0.02));
 
-    let batches = scale.steps(9000);
-    for _ in 0..batches {
-        b.schedule(wino, &ContextSchedule::Weighted(vec![1.0, 1.0]), 8);
-        b.schedule(sgemm, &ContextSchedule::Weighted(vec![2.0, 2.0, 1.0]), 9);
-        b.schedule(bn, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 12);
-        b.schedule(pool, &ContextSchedule::Cyclic, 2);
-        b.schedule(relu, &ContextSchedule::Cyclic, 12);
-    }
-    b.build()
+        let batches = scale.steps(9000);
+        for _ in 0..batches {
+            b.schedule(wino, &ContextSchedule::Weighted(vec![1.0, 1.0]), 8);
+            b.schedule(sgemm, &ContextSchedule::Weighted(vec![2.0, 2.0, 1.0]), 9);
+            b.schedule(bn, &ContextSchedule::Weighted(vec![3.0, 2.0, 1.0]), 12);
+            b.schedule(pool, &ContextSchedule::Cyclic, 2);
+            b.schedule(relu, &ContextSchedule::Cyclic, 12);
+        }
+    })
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@ mod casio;
 mod huggingface;
 mod rodinia;
 
-pub use casio::casio_suite;
-pub use huggingface::{huggingface_suite, HuggingfaceScale};
-pub use rodinia::rodinia_suite;
+pub use casio::{casio_sources, casio_suite};
+pub use huggingface::{huggingface_sources, huggingface_suite, HuggingfaceScale};
+pub use rodinia::{rodinia_sources, rodinia_suite};
 
 use crate::context::RuntimeContext;
 use crate::kernel::{InstructionMix, KernelClass, KernelClassBuilder};

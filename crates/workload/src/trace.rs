@@ -57,11 +57,73 @@ pub struct Workload {
     fingerprint: u64,
 }
 
-/// FNV-1a 64 content hash of a workload's defining tables. Kernel and
-/// context tables go through their `Debug` form (f64 `Debug` is the
-/// shortest round-trip representation, so distinct values hash
-/// distinctly); the invocation stream hashes its raw fields, with
-/// `work_scale` by bit pattern.
+/// Incremental FNV-1a 64 fold over a workload's content, in the exact
+/// byte order [`Workload::fingerprint`] uses: first the header (name,
+/// suite, kernel and context tables), then each invocation's raw fields
+/// in stream order. Because FNV-1a is a plain left-to-right byte fold,
+/// a block-streamed workload can compute its fingerprint one invocation
+/// at a time without ever materializing the stream — feeding the same
+/// header and the same invocations in the same order yields the same
+/// hash as the materialized constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintFold {
+    h: u64,
+}
+
+impl FingerprintFold {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh fold at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        FingerprintFold { h: Self::OFFSET }
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h = (self.h ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds the workload header: name, then the `Debug` form of the
+    /// suite and the kernel/context tables (f64 `Debug` is the shortest
+    /// round-trip representation, so distinct values hash distinctly).
+    /// Must be called exactly once, before any invocation.
+    pub fn eat_header(
+        &mut self,
+        name: &str,
+        suite: SuiteKind,
+        kernels: &[KernelClass],
+        contexts: &[Vec<RuntimeContext>],
+    ) {
+        self.eat(name.as_bytes());
+        self.eat(format!("{suite:?}{kernels:?}{contexts:?}").as_bytes());
+    }
+
+    /// Folds one invocation's raw fields (`work_scale`/`noise_z` by bit
+    /// pattern), in stream order.
+    pub fn eat_invocation(&mut self, inv: &Invocation) {
+        self.eat(&inv.kernel.0.to_le_bytes());
+        self.eat(&inv.context.to_le_bytes());
+        self.eat(&inv.work_scale.to_bits().to_le_bytes());
+        self.eat(&inv.noise_z.to_bits().to_le_bytes());
+    }
+
+    /// The fingerprint of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for FingerprintFold {
+    fn default() -> Self {
+        FingerprintFold::new()
+    }
+}
+
+/// FNV-1a 64 content hash of a workload's defining tables — the
+/// materialized entry point over [`FingerprintFold`], so the streamed
+/// and in-memory fingerprints are the same fold by construction.
 fn content_fingerprint(
     name: &str,
     suite: SuiteKind,
@@ -69,23 +131,12 @@ fn content_fingerprint(
     contexts: &[Vec<RuntimeContext>],
     invocations: &[Invocation],
 ) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-        }
-    };
-    eat(name.as_bytes());
-    eat(format!("{suite:?}{kernels:?}{contexts:?}").as_bytes());
+    let mut fold = FingerprintFold::new();
+    fold.eat_header(name, suite, kernels, contexts);
     for inv in invocations {
-        eat(&inv.kernel.0.to_le_bytes());
-        eat(&inv.context.to_le_bytes());
-        eat(&inv.work_scale.to_bits().to_le_bytes());
-        eat(&inv.noise_z.to_bits().to_le_bytes());
+        fold.eat_invocation(inv);
     }
-    h
+    fold.finish()
 }
 
 /// Assigns every invocation its timing group: first occurrence of a

@@ -72,17 +72,24 @@ pub use stem_storage as storage;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use gpu_sim::{DseTransform, GpuConfig, SampledRun, Simulator, WeightedSample};
+    pub use gpu_sim::{
+        run_streaming_total, source_total, store_total, workload_total, DseTransform, GpuConfig,
+        SampledRun, Simulator, StreamRunError, StreamingTotal, WeightedSample,
+        DEFAULT_CHANNEL_BLOCKS,
+    };
     pub use gpu_workload::suites::{
-        casio_suite, huggingface_suite, rodinia_suite, HuggingfaceScale,
+        casio_sources, casio_suite, huggingface_sources, huggingface_suite, rodinia_sources,
+        rodinia_suite, HuggingfaceScale,
     };
     pub use gpu_workload::{
-        ContextSchedule, InstructionMix, KernelClass, RuntimeContext, SuiteKind, Workload,
-        WorkloadBuilder,
+        load_store, open_store, stream_store, BlockSink, ChannelSink, ColStoreError, CollectSink,
+        ContextSchedule, InstructionMix, KernelClass, RuntimeContext, SinkError, StoreManifest,
+        StoreWriter, StreamSummary, SuiteKind, Workload, WorkloadBuilder, WorkloadSource,
+        DEFAULT_BLOCK_LEN,
     };
     pub use gpu_workload::scenarios::{
-        adversarial_suite, bursty_interference, longtail_skew, phase_drift, scenario_by_name,
-        SCENARIO_NAMES,
+        adversarial_sources, adversarial_suite, bursty_interference, longtail_skew, phase_drift,
+        scenario_by_name, scenario_source_by_name, SCENARIO_NAMES,
     };
     pub use stem_baselines::{
         standard_registry, PhotonSampler, PkaSampler, RandomSampler, RssSampler, SieveSampler,
@@ -99,7 +106,7 @@ pub mod prelude {
         CampaignReport, Pipeline, QuarantinedSnapshot, RecoveryPolicy, SamplerRegistry,
         SamplingPlan, SnapshotError, StemConfig, StemError, StemRootSampler,
     };
-    pub use stem_serve::{JobPhase, JobSpec, ServeConfig, Server, SuiteId};
+    pub use stem_serve::{JobPhase, JobSpec, ServeConfig, Server, StoreRef, SuiteId};
 }
 
 #[cfg(test)]

@@ -146,7 +146,11 @@ fn fail_fast_policy_refuses_every_fault_class() {
 fn damaged_adversarial_traces_keep_honest_degraded_bounds() {
     let sampler = StemRootSampler::new(StemConfig::default());
     let pipe = pipeline(2);
-    for w in [phase_drift(21), bursty_interference(21), longtail_skew(21)] {
+    for w in [
+        phase_drift(21).materialize(),
+        bursty_interference(21).materialize(),
+        longtail_skew(21).materialize(),
+    ] {
         let records = clean_records(&w);
         let plan = FaultPlan::new(0xADE5)
             .with(Fault::Drop { fraction: 0.05 })

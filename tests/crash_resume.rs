@@ -130,7 +130,10 @@ fn killed_campaign_resumes_bit_identical_across_thread_counts() {
 #[test]
 fn new_sampler_on_adversarial_scenario_resumes_bit_identical() {
     let dir = scratch("adversarial-resume");
-    let workloads = vec![longtail_skew(33), bursty_interference(33)];
+    let workloads = vec![
+        longtail_skew(33).materialize(),
+        bursty_interference(33).materialize(),
+    ];
     let sampler = RssSampler::new();
     let baseline = pipeline(1)
         .run_campaign(&sampler, &workloads, &dir.join("reference.snap"))

@@ -149,7 +149,7 @@ fn chaos_path_is_bit_identical_across_thread_counts() {
 /// under non-stationary drift — at threads ∈ {1, 4} versus serial.
 #[test]
 fn new_samplers_on_adversarial_scenarios_are_bit_identical() {
-    let w = phase_drift(33);
+    let w = phase_drift(33).materialize();
     let samplers: Vec<Box<dyn KernelSampler>> =
         vec![Box::new(RssSampler::new()), Box::new(TwoPhaseSampler::new())];
     for sampler in &samplers {
